@@ -1,0 +1,57 @@
+// Command fieldlines runs the density-proportional seeding strategy
+// (§3.2) standalone over a solved cavity field and writes the
+// pre-integrated lines in incremental-loading order. Prefixes of the
+// output file are themselves valid incremental renderings (Fig 7).
+//
+// Usage:
+//
+//	fieldlines -res 10 -periods 6 -lines 400 -out lines.acfl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lineio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fieldlines: ")
+	var (
+		res     = flag.Int("res", 10, "lattice cells per cavity radius")
+		periods = flag.Float64("periods", 6, "drive periods before tracing")
+		lines   = flag.Int("lines", 400, "total field lines to integrate")
+		out     = flag.String("out", "lines.acfl", "output line file")
+	)
+	flag.Parse()
+
+	p := core.NewFieldPipeline(*res, *lines)
+	frame, err := p.Solve(*periods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field solved: t=%.3f, maxE=%.4g\n", frame.Time, frame.MaxE())
+
+	result, err := p.TraceE(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mesh, err := p.Mesh()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced %d lines; density correlation at full set %.3f, at half %.3f\n",
+		len(result.Lines),
+		result.DensityCorrelation(mesh, len(result.Lines)),
+		result.DensityCorrelation(mesh, len(result.Lines)/2))
+
+	if err := lineio.WriteFile(*out, result.Lines); err != nil {
+		log.Fatal(err)
+	}
+	lb := lineio.LinesBytes(result.Lines)
+	fmt.Printf("wrote %s (%d bytes; raw field %d bytes; saving %.1fx)\n",
+		*out, lb, frame.RawBytes(), lineio.SavingFactor(frame.RawBytes(), lb))
+}

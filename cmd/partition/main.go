@@ -1,0 +1,90 @@
+// Command partition is the paper's "partitioning program" (§2.3): it
+// reads a raw particle frame, organizes the selected 3-D plot of the
+// particles into an octree bounded by a maximal subdivision level, and
+// writes the result to disk in two parts — the octree nodes and the
+// density-sorted particle groups.
+//
+// Usage:
+//
+//	partition -in beam_0005.acpf -plot x,px,y -maxlevel 8 -out frame5_xpxy
+//
+// writes frame5_xpxy.oct and frame5_xpxy.pts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/beam"
+	"repro/internal/octree"
+	"repro/internal/pario"
+	"repro/internal/vec"
+)
+
+func parsePlot(s string) ([3]beam.Axis, error) {
+	parts := strings.Split(s, ",")
+	var axes [3]beam.Axis
+	if len(parts) != 3 {
+		return axes, fmt.Errorf("plot %q must name three axes like x,px,y", s)
+	}
+	for i, p := range parts {
+		a, err := beam.ParseAxis(strings.TrimSpace(p))
+		if err != nil {
+			return axes, err
+		}
+		axes[i] = a
+	}
+	return axes, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("partition: ")
+	var (
+		in       = flag.String("in", "", "input particle frame (.acpf)")
+		plot     = flag.String("plot", "x,y,z", "plot type: three of x,y,z,px,py,pz")
+		maxLevel = flag.Int("maxlevel", 8, "maximal octree subdivision level")
+		leafCap  = flag.Int("leafcap", 64, "points per leaf before subdividing")
+		out      = flag.String("out", "", "output base path (writes .oct and .pts)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		log.Fatal("-in and -out are required")
+	}
+	axes, err := parsePlot(*plot)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frame, err := pario.ReadFrameFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %d particles (step %d)\n", frame.E.Len(), frame.Step)
+
+	pts := make([]vec.V3, frame.E.Len())
+	for i := range pts {
+		pts[i] = frame.E.Point3(i, axes)
+	}
+	cfg := octree.DefaultConfig()
+	cfg.MaxLevel = *maxLevel
+	cfg.LeafCap = *leafCap
+
+	start := time.Now()
+	tree, err := octree.Build(pts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("partitioned: %d nodes, %d leaves, depth %d, in %v (%.1f Mpts/s)\n",
+		len(tree.Nodes), tree.NumLeaves(), tree.MaxDepth(), elapsed,
+		float64(len(pts))/elapsed.Seconds()/1e6)
+
+	if err := pario.WriteTreeFiles(*out, tree); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s.oct and %s.pts\n", *out, *out)
+}

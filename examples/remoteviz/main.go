@@ -1,0 +1,89 @@
+// Remoteviz demonstrates the remote-visualization setting the paper
+// motivates: hybrid frames are produced server-side (where the
+// supercomputer and the raw terabytes live), and a thin client on "a
+// scientist's desk thousands of miles away" streams and renders them.
+// The client link is throttled to model the wide-area network, showing
+// why the hybrid representation's compactness matters: the raw frame
+// would take proportionally longer by its size ratio.
+//
+//	go run ./examples/remoteviz
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/pario"
+	"repro/internal/remote"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Server side: simulate and extract three hybrid frames.
+	const particles = 30_000
+	pp := core.NewParticlePipeline(particles)
+	pp.Extract.VolumeRes = 24
+	sim, err := pp.NewSim()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var frames []*hybrid.Representation
+	for f := 0; f < 3; f++ {
+		sim.RunPeriods(6)
+		rep, err := pp.ProcessFrame(sim.Snapshot())
+		if err != nil {
+			log.Fatal(err)
+		}
+		frames = append(frames, rep)
+	}
+	srv, err := remote.NewServer("127.0.0.1:0", frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("server: %d hybrid frames at %s\n", len(frames), srv.Addr())
+
+	// Client side: fetch over a throttled link and render.
+	cli, err := remote.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	const linkBps = 20 << 20 // a 20 MB/s wide-area link
+	cli.BandwidthBps = linkBps
+
+	n, err := cli.NumFrames()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rawBytes := pario.FrameBytes(particles)
+	fmt.Printf("client: %d frames available; link %d MB/s\n\n", n, linkBps>>20)
+	for i := 0; i < n; i++ {
+		rep, size, took, err := cli.FetchFrame(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rawTime := remote.TransferEstimate(rawBytes, linkBps)
+		fmt.Printf("frame %d: %7.2f MB in %8v (raw %.2f MB would take %v — %.0fx longer)\n",
+			i, float64(size)/1e6, took.Round(1000),
+			float64(rawBytes)/1e6, rawTime.Round(1000),
+			float64(rawBytes)/float64(size))
+
+		tf, err := core.DefaultTF(rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb, _, _, err := core.RenderFrame(rep, tf, 256, 256, vec.New(0.4, 0.3, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fb.WritePNG(fmt.Sprintf("remoteviz_frame%d.png", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nwrote remoteviz_frame*.png")
+}

@@ -1,0 +1,183 @@
+package beam
+
+import (
+	"fmt"
+	"math"
+)
+
+// Envelope holds the state of the KV beam-core envelope: semi-axes a
+// (horizontal) and b (vertical) and their derivatives with respect to
+// path length. The core of the particle-core model is a uniformly
+// charged elliptical cylinder with these semi-axes; its oscillation
+// when mismatched drives halo formation.
+type Envelope struct {
+	A, B   float64 // semi-axes
+	Ap, Bp float64 // d/ds of semi-axes
+}
+
+// envRHS evaluates the KV envelope equations
+//
+//	a'' = -kappa(s)*a + 2K/(a+b) + epsx^2/a^3
+//	b'' = +kappa(s)*b + 2K/(a+b) + epsy^2/b^3
+//
+// where K is the beam perveance and eps the unnormalized RMS-equivalent
+// emittances. kappa enters with opposite signs in the two planes
+// (alternating-gradient focusing).
+func envRHS(e Envelope, kappa, perveance, epsX, epsY float64) (app, bpp float64) {
+	app = -kappa*e.A + 2*perveance/(e.A+e.B) + epsX*epsX/(e.A*e.A*e.A)
+	bpp = kappa*e.B + 2*perveance/(e.A+e.B) + epsY*epsY/(e.B*e.B*e.B)
+	return
+}
+
+// StepRK4 advances the envelope by ds through the lattice. The step is
+// split at lattice segment boundaries so each RK4 sub-step sees a
+// smooth (piecewise-constant) kappa; within a smooth piece classical
+// RK4 converges at full order, making the result effectively
+// independent of the caller's step size.
+func (e Envelope) StepRK4(lat Lattice, s, ds, perveance, epsX, epsY float64) Envelope {
+	end := s + ds
+	const tiny = 1e-12
+	for s < end-tiny {
+		next := lat.NextBoundary(s)
+		if next > end {
+			next = end
+		}
+		e = e.rk4Smooth(lat, s, next-s, perveance, epsX, epsY)
+		s = next
+	}
+	return e
+}
+
+// rk4Smooth performs one classical RK4 step of length ds assuming
+// kappa is constant over [s, s+ds]; it is sampled once at the piece
+// midpoint so segment-boundary endpoints never pick up the neighboring
+// segment's value.
+func (e Envelope) rk4Smooth(lat Lattice, s, ds, perveance, epsX, epsY float64) Envelope {
+	kap := lat.Kappa(s + ds/2)
+	type state struct{ a, b, ap, bp float64 }
+	deriv := func(st state) state {
+		app, bpp := envRHS(Envelope{st.a, st.b, st.ap, st.bp}, kap, perveance, epsX, epsY)
+		return state{st.ap, st.bp, app, bpp}
+	}
+	add := func(st state, d state, h float64) state {
+		return state{st.a + h*d.a, st.b + h*d.b, st.ap + h*d.ap, st.bp + h*d.bp}
+	}
+	y := state{e.A, e.B, e.Ap, e.Bp}
+	k1 := deriv(y)
+	k2 := deriv(add(y, k1, ds/2))
+	k3 := deriv(add(y, k2, ds/2))
+	k4 := deriv(add(y, k3, ds))
+	out := state{
+		y.a + ds/6*(k1.a+2*k2.a+2*k3.a+k4.a),
+		y.b + ds/6*(k1.b+2*k2.b+2*k3.b+k4.b),
+		y.ap + ds/6*(k1.ap+2*k2.ap+2*k3.ap+k4.ap),
+		y.bp + ds/6*(k1.bp+2*k2.bp+2*k3.bp+k4.bp),
+	}
+	return Envelope{out.a, out.b, out.ap, out.bp}
+}
+
+// MatchedEnvelope finds the periodic (matched) envelope of the lattice:
+// initial semi-axes (a0, b0) with a'=b'=0 at the symmetry point such
+// that the envelope returns to the same state after one period. It uses
+// Newton iteration on the 2-D residual (a(L)-a0, b(L)-b0) with a
+// finite-difference Jacobian. stepsPerPeriod controls integration
+// resolution.
+func MatchedEnvelope(lat Lattice, perveance, epsX, epsY float64, stepsPerPeriod int) (Envelope, error) {
+	if err := lat.Validate(); err != nil {
+		return Envelope{}, err
+	}
+	if stepsPerPeriod < 16 {
+		stepsPerPeriod = 16
+	}
+	period := lat.Period()
+	ds := period / float64(stepsPerPeriod)
+
+	propagate := func(a0, b0 float64) (Envelope, bool) {
+		e := Envelope{A: a0, B: b0}
+		s := 0.0
+		for i := 0; i < stepsPerPeriod; i++ {
+			e = e.StepRK4(lat, s, ds, perveance, epsX, epsY)
+			s += ds
+			if e.A <= 0 || e.B <= 0 || math.IsNaN(e.A) || math.IsNaN(e.B) {
+				return e, false
+			}
+		}
+		return e, true
+	}
+
+	// Smooth-focusing estimate as the starting guess: treat the
+	// alternating gradient as an average focusing k_eff and solve the
+	// stationary round-beam envelope r'' = 0.
+	sigma0, err := lat.PhaseAdvance()
+	if err != nil {
+		return Envelope{}, err
+	}
+	kEff := sigma0 * sigma0 / (period * period)
+	// Solve k*r - 2K/(2r) - eps^2/r^3 = 0 by bisection.
+	eps := math.Max(epsX, epsY)
+	f := func(r float64) float64 { return kEff*r - perveance/r - eps*eps/(r*r*r) }
+	lo, hi := 1e-9, 1.0
+	for f(hi) < 0 {
+		hi *= 2
+		if hi > 1e9 {
+			return Envelope{}, fmt.Errorf("beam: cannot bracket matched radius")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a0, b0 := (lo+hi)/2, (lo+hi)/2
+
+	// Newton iteration on the period map residual.
+	for iter := 0; iter < 60; iter++ {
+		e, ok := propagate(a0, b0)
+		if !ok {
+			return Envelope{}, fmt.Errorf("beam: envelope integration diverged during matching")
+		}
+		ra, rb := e.A-a0, e.B-b0
+		if math.Abs(ra) < 1e-12*a0 && math.Abs(rb) < 1e-12*b0 {
+			return Envelope{A: a0, B: b0}, nil
+		}
+		h := 1e-6 * (a0 + b0)
+		ea, okA := propagate(a0+h, b0)
+		eb, okB := propagate(a0, b0+h)
+		if !okA || !okB {
+			return Envelope{}, fmt.Errorf("beam: envelope Jacobian evaluation diverged")
+		}
+		// Jacobian of residual (r_a, r_b) wrt (a0, b0).
+		j00 := ((ea.A - (a0 + h)) - ra) / h
+		j01 := ((eb.A - a0) - ra) / h
+		j10 := ((ea.B - b0) - rb) / h
+		j11 := ((eb.B - (b0 + h)) - rb) / h
+		det := j00*j11 - j01*j10
+		if math.Abs(det) < 1e-30 {
+			return Envelope{}, fmt.Errorf("beam: singular Jacobian in envelope matching")
+		}
+		da := (-ra*j11 + rb*j01) / det
+		db := (ra*j10 - rb*j00) / det
+		// Damp large Newton steps to stay in the basin.
+		limit := 0.5 * math.Min(a0, b0)
+		if math.Abs(da) > limit {
+			da = math.Copysign(limit, da)
+		}
+		if math.Abs(db) > limit {
+			db = math.Copysign(limit, db)
+		}
+		a0 += da
+		b0 += db
+		if a0 <= 0 || b0 <= 0 {
+			return Envelope{}, fmt.Errorf("beam: matching drove envelope non-positive")
+		}
+	}
+	// Accept a slightly looser tolerance after the iteration budget.
+	e, ok := propagate(a0, b0)
+	if ok && math.Abs(e.A-a0) < 1e-6*a0 && math.Abs(e.B-b0) < 1e-6*b0 {
+		return Envelope{A: a0, B: b0}, nil
+	}
+	return Envelope{}, fmt.Errorf("beam: envelope matching did not converge")
+}

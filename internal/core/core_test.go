@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/beam"
+	"repro/internal/sos"
+	"repro/internal/vec"
+)
+
+func TestVerify(t *testing.T) {
+	if err := Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParticlePipelineEndToEnd(t *testing.T) {
+	p := NewParticlePipeline(5000)
+	p.Extract.VolumeRes = 16 // keep the test fast
+	sim, err := p.NewSim()
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	sim.RunPeriods(5)
+	rep, err := p.ProcessFrame(sim.Snapshot())
+	if err != nil {
+		t.Fatalf("ProcessFrame: %v", err)
+	}
+	if rep.NumPoints() == 0 {
+		t.Fatal("no halo points extracted")
+	}
+	tf, err := DefaultTF(rep)
+	if err != nil {
+		t.Fatalf("DefaultTF: %v", err)
+	}
+	if !tf.Complementary() {
+		t.Error("default TF pair not complementary")
+	}
+	fb, rast, vr, err := RenderFrame(rep, tf, 64, 64, vec.New(0.4, 0.3, 1))
+	if err != nil {
+		t.Fatalf("RenderFrame: %v", err)
+	}
+	if rast.PointCount == 0 {
+		t.Error("no points rendered")
+	}
+	if vr.SampleCount == 0 {
+		t.Error("no volume samples")
+	}
+	if fb.CoveredPixels(0.005) == 0 {
+		t.Error("black frame")
+	}
+}
+
+func TestParticlePipelinePhasePlot(t *testing.T) {
+	p := NewParticlePipeline(3000)
+	p.Extract.VolumeRes = 8
+	p.Axes = [3]beam.Axis{beam.AxisX, beam.AxisPX, beam.AxisY} // Fig 1 phase plot
+	sim, err := p.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunPeriods(2)
+	rep, err := p.ProcessFrame(sim.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase-plot points live in (x, px, y) space: the px spread of the
+	// stored halo points must be much smaller than the x spread for
+	// this beam. (rep.Bounds itself is the cubical octree root cell, so
+	// measure the data, not the cell.)
+	ext := vec.Empty()
+	for _, p := range rep.Points {
+		ext = ext.ExtendPoint(p)
+	}
+	size := ext.Size()
+	if size.Y >= size.X {
+		t.Errorf("phase plot point extents %v do not look like (x, px, y)", size)
+	}
+}
+
+func TestFieldPipelineEndToEnd(t *testing.T) {
+	p := NewFieldPipeline(6, 20)
+	frame, err := p.Solve(4)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if frame.MaxE() == 0 {
+		t.Fatal("no field developed")
+	}
+	res, err := p.TraceE(frame)
+	if err != nil {
+		t.Fatalf("TraceE: %v", err)
+	}
+	if len(res.Lines) == 0 {
+		t.Fatal("no lines traced")
+	}
+	fb, st, err := p.RenderLines(res.Lines, sos.TechSOS, 64, 64, vec.New(1, 0.5, 0.3))
+	if err != nil {
+		t.Fatalf("RenderLines: %v", err)
+	}
+	if st.Triangles == 0 {
+		t.Error("no triangles drawn")
+	}
+	if fb.CoveredPixels(0.005) == 0 {
+		t.Error("black frame")
+	}
+}
+
+func TestFieldPipelineSolverCaching(t *testing.T) {
+	p := NewFieldPipeline(6, 5)
+	if p.Sim() != nil {
+		t.Error("sim exists before Solve")
+	}
+	f1, err := p.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := p.Sim()
+	f2, err := p.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sim() != sim {
+		t.Error("solver not cached between Solve calls")
+	}
+	if f2.Time <= f1.Time {
+		t.Error("second Solve did not advance time")
+	}
+}
+
+func TestConvertPlotType(t *testing.T) {
+	p := NewParticlePipeline(4000)
+	sim, err := p.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunPeriods(3)
+	frame := sim.Snapshot()
+	spatial, err := p.Partition(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convert the (x,y,z) partitioning to a momentum-space plot without
+	// touching the original file order.
+	mom, err := ConvertPlotType(spatial, frame.E,
+		[3]beam.Axis{beam.AxisPX, beam.AxisPY, beam.AxisPZ}, p.Tree)
+	if err != nil {
+		t.Fatalf("ConvertPlotType: %v", err)
+	}
+	if err := mom.Validate(); err != nil {
+		t.Fatalf("converted tree invalid: %v", err)
+	}
+	if len(mom.Points) != frame.E.Len() {
+		t.Errorf("converted tree holds %d points, want %d", len(mom.Points), frame.E.Len())
+	}
+	// Every converted point must be the momentum projection of its
+	// original particle.
+	for i := 0; i < len(mom.Points); i += 371 {
+		oi := mom.OrigIndex[i]
+		want := frame.E.Point3(int(oi), [3]beam.Axis{beam.AxisPX, beam.AxisPY, beam.AxisPZ})
+		if mom.Points[i] != want {
+			t.Fatalf("converted point %d mismatch", i)
+		}
+	}
+	// Mismatched ensemble rejected.
+	small := beam.NewEnsemble(10)
+	if _, err := ConvertPlotType(spatial, small,
+		[3]beam.Axis{beam.AxisX, beam.AxisY, beam.AxisZ}, p.Tree); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestTraceBClosedLoops(t *testing.T) {
+	p := NewFieldPipeline(6, 15)
+	frame, err := p.Solve(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.TraceB(frame)
+	if err != nil {
+		t.Fatalf("TraceB: %v", err)
+	}
+	if len(res.Lines) == 0 {
+		t.Fatal("no magnetic lines traced")
+	}
+	mesh, err := p.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := 0
+	for _, l := range res.Lines {
+		if l.Closed {
+			closed++
+		}
+		for _, pt := range l.Points {
+			if !mesh.Inside(pt) {
+				t.Fatal("magnetic line left the vacuum region")
+			}
+		}
+	}
+	t.Logf("%d of %d magnetic lines detected as closed loops", closed, len(res.Lines))
+}

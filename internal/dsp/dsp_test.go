@@ -1,0 +1,131 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Error("accepted length 12")
+	}
+	if err := FFT(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is flat ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A pure complex exponential at bin k concentrates all energy there.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/n))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == k {
+			if math.Abs(mag-n) > 1e-9 {
+				t.Errorf("bin %d magnitude %g, want %d", i, mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("leakage at bin %d: %g", i, mag)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Energy in time domain equals energy in frequency domain / N.
+	rng := rand.New(rand.NewSource(3))
+	const n = 128
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/n-timeE) > 1e-9*timeE {
+		t.Errorf("Parseval violated: time %g, freq/N %g", timeE, freqE/n)
+	}
+}
+
+func TestPeakFrequencyRecoversSine(t *testing.T) {
+	const omega = 3.7 // angular frequency
+	const dt = 0.01
+	signal := make([]float64, 2000)
+	for i := range signal {
+		signal[i] = 2.5 * math.Sin(omega*float64(i)*dt)
+	}
+	got, err := PeakFrequency(signal, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-omega) > 0.02*omega {
+		t.Errorf("peak frequency %g, want %g", got, omega)
+	}
+}
+
+func TestPeakFrequencyWithNoiseAndOffset(t *testing.T) {
+	const omega = 12.0
+	const dt = 0.005
+	rng := rand.New(rand.NewSource(4))
+	signal := make([]float64, 3000)
+	for i := range signal {
+		signal[i] = 5 + math.Sin(omega*float64(i)*dt) + 0.2*rng.NormFloat64()
+	}
+	got, err := PeakFrequency(signal, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-omega) > 0.05*omega {
+		t.Errorf("peak frequency %g, want %g (noise/offset case)", got, omega)
+	}
+}
+
+func TestPeakFrequencyValidation(t *testing.T) {
+	if _, err := PeakFrequency([]float64{1, 2}, 0.1); err == nil {
+		t.Error("accepted too-short signal")
+	}
+	if _, err := PeakFrequency(make([]float64, 100), -1); err == nil {
+		t.Error("accepted negative dt")
+	}
+	if _, err := PeakFrequency(make([]float64, 100), 0.1); err == nil {
+		t.Error("accepted all-zero signal")
+	}
+}
+
+func TestPowerSpectrumLength(t *testing.T) {
+	ps, err := PowerSpectrum(make([]float64, 100)) // padded to 128
+	if err == nil {
+		// All-zero signal: spectrum exists but is flat zero; that's fine
+		// for PowerSpectrum itself (PeakFrequency rejects it).
+		if len(ps) != 64 {
+			t.Errorf("spectrum length %d, want 64", len(ps))
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package fieldline integrates electric and magnetic field lines
+// through sampled vector fields — the streamline-integration core of
+// the paper's §3 visualization pipeline. Lines are integrated with
+// classical RK4 under arc-length parameterization (the tangent is the
+// normalized field), so the geometric step size is uniform regardless
+// of field magnitude, and each sample records the local field strength
+// for the strength-dependent styling of Figs 6(e) and 10.
+package fieldline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Field is a static vector field. Implementations include the
+// electric/magnetic adapters over emsim.FieldFrame and the analytic
+// fields used in tests.
+type Field interface {
+	At(p vec.V3) vec.V3
+}
+
+// FieldFunc adapts a function to the Field interface.
+type FieldFunc func(p vec.V3) vec.V3
+
+// At implements Field.
+func (f FieldFunc) At(p vec.V3) vec.V3 { return f(p) }
+
+// Config controls line integration.
+type Config struct {
+	// Step is the arc-length integration step in world units.
+	Step float64
+	// MaxSteps bounds each direction of integration.
+	MaxSteps int
+	// MinMag terminates integration when the local field magnitude
+	// drops below it (for electric lines this is reaching a null or a
+	// conductor surface where the sampled field fades to zero).
+	MinMag float64
+	// Domain, when non-nil, terminates integration when it reports
+	// false (e.g. leaving the vacuum region).
+	Domain func(p vec.V3) bool
+	// CloseLoop stops integration when the line returns within Step of
+	// its seed after at least 8 steps — magnetic field lines close on
+	// themselves.
+	CloseLoop bool
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if c.Step <= 0 {
+		return fmt.Errorf("fieldline: step %g must be positive", c.Step)
+	}
+	if c.MaxSteps < 1 {
+		return fmt.Errorf("fieldline: max steps %d must be >= 1", c.MaxSteps)
+	}
+	if c.MinMag < 0 {
+		return fmt.Errorf("fieldline: min magnitude %g must be >= 0", c.MinMag)
+	}
+	return nil
+}
+
+// Line is one integrated field line: points, unit tangents, and the
+// field magnitude at each point. Points/Tangents/Strengths always have
+// equal length.
+type Line struct {
+	Points    []vec.V3
+	Tangents  []vec.V3
+	Strengths []float64
+	Closed    bool // terminated by loop closure
+}
+
+// NumPoints returns the sample count.
+func (l *Line) NumPoints() int { return len(l.Points) }
+
+// Length returns the polyline arc length.
+func (l *Line) Length() float64 {
+	var sum float64
+	for i := 1; i < len(l.Points); i++ {
+		sum += l.Points[i].Dist(l.Points[i-1])
+	}
+	return sum
+}
+
+// MaxStrength returns the peak field magnitude along the line.
+func (l *Line) MaxStrength() float64 {
+	var m float64
+	for _, s := range l.Strengths {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// dirAt returns the normalized field direction and magnitude at p.
+func dirAt(f Field, p vec.V3) (vec.V3, float64) {
+	v := f.At(p)
+	mag := v.Len()
+	if mag == 0 {
+		return vec.V3{}, 0
+	}
+	return v.Scale(1 / mag), mag
+}
+
+// Trace integrates a field line from seed in the given direction
+// (+1 with the field, -1 against it) using RK4 on the normalized
+// field. The seed itself is the first sample.
+func Trace(f Field, seed vec.V3, cfg Config, sign float64) (*Line, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sign >= 0 {
+		sign = 1
+	} else {
+		sign = -1
+	}
+	line := &Line{}
+	p := seed
+	for step := 0; step <= cfg.MaxSteps; step++ {
+		d, mag := dirAt(f, p)
+		if mag < cfg.MinMag || mag == 0 {
+			break
+		}
+		if cfg.Domain != nil && !cfg.Domain(p) {
+			break
+		}
+		line.Points = append(line.Points, p)
+		line.Tangents = append(line.Tangents, d.Scale(sign))
+		line.Strengths = append(line.Strengths, mag)
+
+		if cfg.CloseLoop && step >= 8 && p.Dist(seed) < cfg.Step {
+			line.Closed = true
+			break
+		}
+
+		// RK4 on dp/ds = sign * v(p)/|v(p)|.
+		h := cfg.Step
+		k1, m1 := dirAt(f, p)
+		if m1 == 0 {
+			break
+		}
+		k2, m2 := dirAt(f, p.Add(k1.Scale(sign*h/2)))
+		if m2 == 0 {
+			break
+		}
+		k3, m3 := dirAt(f, p.Add(k2.Scale(sign*h/2)))
+		if m3 == 0 {
+			break
+		}
+		k4, m4 := dirAt(f, p.Add(k3.Scale(sign*h)))
+		if m4 == 0 {
+			break
+		}
+		delta := k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(sign * h / 6)
+		if !delta.IsFinite() || delta.Len() == 0 {
+			break
+		}
+		p = p.Add(delta)
+	}
+	return line, nil
+}
+
+// TraceBoth integrates from the seed in both directions and joins the
+// two halves into a single line through the seed — the standard way to
+// center a streamline on its seed point.
+func TraceBoth(f Field, seed vec.V3, cfg Config) (*Line, error) {
+	back, err := Trace(f, seed, cfg, -1)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := Trace(f, seed, cfg, +1)
+	if err != nil {
+		return nil, err
+	}
+	line := &Line{}
+	// Backward half reversed (excluding the seed, which forward holds),
+	// with tangents flipped to point along the line's forward direction.
+	for i := len(back.Points) - 1; i >= 1; i-- {
+		line.Points = append(line.Points, back.Points[i])
+		line.Tangents = append(line.Tangents, back.Tangents[i].Neg())
+		line.Strengths = append(line.Strengths, back.Strengths[i])
+	}
+	line.Points = append(line.Points, fwd.Points...)
+	line.Tangents = append(line.Tangents, fwd.Tangents...)
+	line.Strengths = append(line.Strengths, fwd.Strengths...)
+	line.Closed = back.Closed || fwd.Closed
+	return line, nil
+}
+
+// Resample returns a copy of the line with at most maxPoints samples,
+// dropping intermediate points evenly. Tangents and strengths follow
+// their points. It is the decimation step used before strip
+// generation when a coarser representation suffices.
+func (l *Line) Resample(maxPoints int) *Line {
+	n := len(l.Points)
+	if maxPoints >= n || maxPoints < 2 {
+		return l
+	}
+	out := &Line{Closed: l.Closed}
+	for i := 0; i < maxPoints; i++ {
+		src := int(math.Round(float64(i) * float64(n-1) / float64(maxPoints-1)))
+		out.Points = append(out.Points, l.Points[src])
+		out.Tangents = append(out.Tangents, l.Tangents[src])
+		out.Strengths = append(out.Strengths, l.Strengths[src])
+	}
+	return out
+}

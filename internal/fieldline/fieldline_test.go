@@ -1,0 +1,205 @@
+package fieldline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// uniformX is a constant field along +x.
+func uniformX(p vec.V3) vec.V3 { return vec.New(2, 0, 0) }
+
+// circular is a field circling the z axis (magnetic-like closed lines).
+func circular(p vec.V3) vec.V3 { return vec.New(-p.Y, p.X, 0) }
+
+// radial points away from the origin with 1/r^2 falloff (electric-like).
+func radial(p vec.V3) vec.V3 {
+	r2 := p.Len2()
+	if r2 == 0 {
+		return vec.V3{}
+	}
+	return p.Norm().Scale(1 / r2)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Step: 0.1, MaxSteps: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if (Config{Step: 0, MaxSteps: 10}).Validate() == nil {
+		t.Error("accepted zero step")
+	}
+	if (Config{Step: 0.1, MaxSteps: 0}).Validate() == nil {
+		t.Error("accepted zero max steps")
+	}
+	if (Config{Step: 0.1, MaxSteps: 5, MinMag: -1}).Validate() == nil {
+		t.Error("accepted negative min magnitude")
+	}
+}
+
+func TestTraceUniformFieldIsStraight(t *testing.T) {
+	cfg := Config{Step: 0.1, MaxSteps: 50}
+	line, err := Trace(FieldFunc(uniformX), vec.New(0, 1, 2), cfg, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.NumPoints() != 51 {
+		t.Fatalf("got %d points, want 51", line.NumPoints())
+	}
+	last := line.Points[len(line.Points)-1]
+	if math.Abs(last.X-5.0) > 1e-9 || last.Y != 1 || last.Z != 2 {
+		t.Errorf("end point %v, want (5, 1, 2)", last)
+	}
+	// All strengths equal the field magnitude 2.
+	for _, s := range line.Strengths {
+		if s != 2 {
+			t.Fatalf("strength %v, want 2", s)
+		}
+	}
+	// Arc length ~ 5.
+	if math.Abs(line.Length()-5) > 1e-9 {
+		t.Errorf("length %v, want 5", line.Length())
+	}
+}
+
+func TestTraceBackward(t *testing.T) {
+	cfg := Config{Step: 0.1, MaxSteps: 10}
+	line, err := Trace(FieldFunc(uniformX), vec.New(0, 0, 0), cfg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := line.Points[len(line.Points)-1]
+	if last.X >= 0 {
+		t.Errorf("backward trace went forward: %v", last)
+	}
+	// Tangents point along the direction of travel (-x).
+	if line.Tangents[0].X >= 0 {
+		t.Errorf("tangent %v should point -x", line.Tangents[0])
+	}
+}
+
+func TestTraceCircularStaysOnCircle(t *testing.T) {
+	cfg := Config{Step: 0.01, MaxSteps: 2000, CloseLoop: true}
+	seed := vec.New(1, 0, 0)
+	line, err := Trace(FieldFunc(circular), seed, cfg, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !line.Closed {
+		t.Error("circular field line did not close")
+	}
+	// Radius stays ~1 (RK4 accuracy).
+	for i, p := range line.Points {
+		if math.Abs(p.Len()-1) > 1e-4 {
+			t.Fatalf("point %d radius %v drifted from 1", i, p.Len())
+		}
+	}
+	// Closed loop length ~ 2*pi.
+	if math.Abs(line.Length()-2*math.Pi) > 0.1 {
+		t.Errorf("loop length %v, want ~%v", line.Length(), 2*math.Pi)
+	}
+}
+
+func TestTraceStopsAtDomainBoundary(t *testing.T) {
+	cfg := Config{
+		Step: 0.1, MaxSteps: 1000,
+		Domain: func(p vec.V3) bool { return p.X < 2 },
+	}
+	line, err := Trace(FieldFunc(uniformX), vec.New(0, 0, 0), cfg, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range line.Points {
+		if p.X >= 2 {
+			t.Fatalf("point %v outside domain", p)
+		}
+	}
+	if line.NumPoints() > 25 {
+		t.Errorf("line kept %d points; domain exit ignored", line.NumPoints())
+	}
+}
+
+func TestTraceStopsAtWeakField(t *testing.T) {
+	cfg := Config{Step: 0.1, MaxSteps: 10000, MinMag: 0.1}
+	// Radial field decays as 1/r^2; integration must stop near r ~ 3.16.
+	line, err := Trace(FieldFunc(radial), vec.New(0.5, 0, 0), cfg, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := line.Points[len(line.Points)-1]
+	if last.Len() > 3.5 {
+		t.Errorf("line continued to r=%v despite MinMag", last.Len())
+	}
+	if line.NumPoints() == 0 {
+		t.Error("no points recorded")
+	}
+}
+
+func TestTraceZeroFieldProducesEmptyLine(t *testing.T) {
+	cfg := Config{Step: 0.1, MaxSteps: 10}
+	line, err := Trace(FieldFunc(func(vec.V3) vec.V3 { return vec.V3{} }), vec.New(0, 0, 0), cfg, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.NumPoints() != 0 {
+		t.Errorf("zero field produced %d points", line.NumPoints())
+	}
+}
+
+func TestTraceBothJoinsHalves(t *testing.T) {
+	cfg := Config{Step: 0.1, MaxSteps: 10}
+	line, err := TraceBoth(FieldFunc(uniformX), vec.New(0, 0, 0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 backward points (excluding seed) + 11 forward points.
+	if line.NumPoints() != 21 {
+		t.Fatalf("joined line has %d points, want 21", line.NumPoints())
+	}
+	// Points are monotonically increasing in x.
+	for i := 1; i < line.NumPoints(); i++ {
+		if line.Points[i].X <= line.Points[i-1].X {
+			t.Fatalf("joined line not monotone at %d", i)
+		}
+	}
+	// All tangents point +x after the flip.
+	for i, tg := range line.Tangents {
+		if tg.X <= 0 {
+			t.Fatalf("tangent %d = %v, want +x", i, tg)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	cfg := Config{Step: 0.1, MaxSteps: 100}
+	line, err := Trace(FieldFunc(uniformX), vec.New(0, 0, 0), cfg, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := line.Resample(11)
+	if r.NumPoints() != 11 {
+		t.Fatalf("resampled to %d points, want 11", r.NumPoints())
+	}
+	// Endpoints preserved.
+	if r.Points[0] != line.Points[0] || r.Points[10] != line.Points[len(line.Points)-1] {
+		t.Error("resample lost endpoints")
+	}
+	// Resampling to more points than exist returns the line unchanged.
+	if got := line.Resample(10000); got.NumPoints() != line.NumPoints() {
+		t.Error("upsampling changed the line")
+	}
+}
+
+func TestMaxStrength(t *testing.T) {
+	cfg := Config{Step: 0.05, MaxSteps: 100}
+	line, err := Trace(FieldFunc(radial), vec.New(0.5, 0, 0), cfg, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strength decays along the radial line, so max is at the seed: 1/0.25.
+	want := 4.0
+	if math.Abs(line.MaxStrength()-want) > 1e-9 {
+		t.Errorf("MaxStrength = %v, want %v", line.MaxStrength(), want)
+	}
+}

@@ -1,0 +1,269 @@
+// Package hybrid implements the paper's hybrid data representation
+// (§2): a low-resolution density volume standing in for the dense beam
+// core plus full-resolution raw points for the sparse halo, selected by
+// a leaf-density threshold over the octree partitioning, with the two
+// inverse-linked transfer functions of Fig 3 controlling how the two
+// halves composite at view time.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// Grid is a regular scalar volume — the "3-D texture" of the paper's
+// texture-mapping-hardware rendering path. Values are stored in x-major
+// order: index = (z*Ny + y)*Nx + x.
+type Grid struct {
+	Nx, Ny, Nz int
+	Bounds     vec.AABB
+	Data       []float32
+}
+
+// NewGrid allocates a zeroed grid with the given resolution over bounds.
+func NewGrid(nx, ny, nz int, bounds vec.AABB) (*Grid, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("hybrid: grid resolution %dx%dx%d must be positive", nx, ny, nz)
+	}
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("hybrid: empty grid bounds")
+	}
+	return &Grid{
+		Nx: nx, Ny: ny, Nz: nz,
+		Bounds: bounds,
+		Data:   make([]float32, nx*ny*nz),
+	}, nil
+}
+
+// Len returns the voxel count.
+func (g *Grid) Len() int { return g.Nx * g.Ny * g.Nz }
+
+// At returns the voxel value at integer coordinates, clamping to the
+// grid edge (texture clamp-to-edge semantics).
+func (g *Grid) At(x, y, z int) float32 {
+	x = clampInt(x, 0, g.Nx-1)
+	y = clampInt(y, 0, g.Ny-1)
+	z = clampInt(z, 0, g.Nz-1)
+	return g.Data[(z*g.Ny+y)*g.Nx+x]
+}
+
+// Set stores a voxel value; coordinates must be in range.
+func (g *Grid) Set(x, y, z int, v float32) {
+	g.Data[(z*g.Ny+y)*g.Nx+x] = v
+}
+
+// Sample returns the trilinearly interpolated value at world position
+// p, or 0 outside the bounds — the software equivalent of a hardware
+// 3-D texture fetch.
+func (g *Grid) Sample(p vec.V3) float64 {
+	if !g.Bounds.Contains(p) {
+		return 0
+	}
+	n := g.Bounds.Normalize(p)
+	// Voxel centers sit at (i+0.5)/N; convert to continuous voxel coords.
+	fx := n.X*float64(g.Nx) - 0.5
+	fy := n.Y*float64(g.Ny) - 0.5
+	fz := n.Z*float64(g.Nz) - 0.5
+	x0 := int(math.Floor(fx))
+	y0 := int(math.Floor(fy))
+	z0 := int(math.Floor(fz))
+	tx := fx - float64(x0)
+	ty := fy - float64(y0)
+	tz := fz - float64(z0)
+
+	lerp := func(a, b float32, t float64) float64 {
+		return float64(a) + t*(float64(b)-float64(a))
+	}
+	c00 := lerp(g.At(x0, y0, z0), g.At(x0+1, y0, z0), tx)
+	c10 := lerp(g.At(x0, y0+1, z0), g.At(x0+1, y0+1, z0), tx)
+	c01 := lerp(g.At(x0, y0, z0+1), g.At(x0+1, y0, z0+1), tx)
+	c11 := lerp(g.At(x0, y0+1, z0+1), g.At(x0+1, y0+1, z0+1), tx)
+	c0 := c00 + ty*(c10-c00)
+	c1 := c01 + ty*(c11-c01)
+	return c0 + tz*(c1-c0)
+}
+
+// MaxValue returns the largest voxel value.
+func (g *Grid) MaxValue() float32 {
+	var m float32
+	for _, v := range g.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Scale multiplies every voxel by f in place.
+func (g *Grid) Scale(f float32) {
+	for i := range g.Data {
+		g.Data[i] *= f
+	}
+}
+
+// Normalize rescales the grid so its maximum value is exactly 1 and
+// returns the factor the data was divided by (0 for an all-zero grid,
+// which is left unchanged). Division (rather than multiplication by the
+// reciprocal) guarantees the max voxel lands exactly on 1 in float32.
+func (g *Grid) Normalize() float32 {
+	m := g.MaxValue()
+	if m == 0 {
+		return 0
+	}
+	for i := range g.Data {
+		g.Data[i] /= m
+	}
+	return m
+}
+
+// SizeBytes returns the in-memory payload size of the grid, the number
+// the paper's storage comparisons count for the volume part.
+func (g *Grid) SizeBytes() int64 { return int64(g.Len()) * 4 }
+
+// Splat deposits the given points onto a fresh nx*ny*nz grid over
+// bounds using cloud-in-cell (trilinear) weighting, producing the point
+// density volume that the hybrid representation renders for the dense
+// core. The deposit runs in parallel with per-worker partial grids
+// merged at the end, so it is deterministic regardless of scheduling.
+func Splat(points []vec.V3, bounds vec.AABB, nx, ny, nz, workers int) (*Grid, error) {
+	out, err := NewGrid(nx, ny, nz, bounds)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	// Cap worker count so the partial-grid memory stays modest.
+	const maxPartialBytes = 256 << 20
+	if int64(workers)*out.SizeBytes() > maxPartialBytes {
+		workers = int(maxPartialBytes / out.SizeBytes())
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	partials := make([][]float32, workers)
+	slabs := par.Slabs(len(points), workers)
+	par.ForChunks(len(slabs), workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			buf := make([]float32, out.Len())
+			depositCIC(points[slabs[s][0]:slabs[s][1]], bounds, nx, ny, nz, buf)
+			partials[s] = buf
+		}
+	})
+	for _, buf := range partials {
+		if buf == nil {
+			continue
+		}
+		for i, v := range buf {
+			out.Data[i] += v
+		}
+	}
+	return out, nil
+}
+
+// depositCIC adds each point's unit mass to the eight voxels
+// surrounding it with trilinear weights.
+func depositCIC(points []vec.V3, bounds vec.AABB, nx, ny, nz int, data []float32) {
+	for _, p := range points {
+		if !bounds.Contains(p) {
+			continue
+		}
+		n := bounds.Normalize(p)
+		fx := n.X*float64(nx) - 0.5
+		fy := n.Y*float64(ny) - 0.5
+		fz := n.Z*float64(nz) - 0.5
+		x0 := int(math.Floor(fx))
+		y0 := int(math.Floor(fy))
+		z0 := int(math.Floor(fz))
+		tx := fx - float64(x0)
+		ty := fy - float64(y0)
+		tz := fz - float64(z0)
+		for dz := 0; dz < 2; dz++ {
+			z := z0 + dz
+			if z < 0 || z >= nz {
+				continue
+			}
+			wz := tz
+			if dz == 0 {
+				wz = 1 - tz
+			}
+			for dy := 0; dy < 2; dy++ {
+				y := y0 + dy
+				if y < 0 || y >= ny {
+					continue
+				}
+				wy := ty
+				if dy == 0 {
+					wy = 1 - ty
+				}
+				for dx := 0; dx < 2; dx++ {
+					x := x0 + dx
+					if x < 0 || x >= nx {
+						continue
+					}
+					wx := tx
+					if dx == 0 {
+						wx = 1 - tx
+					}
+					data[(z*ny+y)*nx+x] += float32(wx * wy * wz)
+				}
+			}
+		}
+	}
+}
+
+// TotalMass returns the sum of all voxel values. Cloud-in-cell
+// deposits conserve mass for interior points, which the tests verify.
+func (g *Grid) TotalMass() float64 {
+	var sum float64
+	for _, v := range g.Data {
+		sum += float64(v)
+	}
+	return sum
+}
+
+// Downsample returns a grid reduced by factor k along each axis (box
+// filter). It is used by the Fig 1 experiment to derive the 64^3 hybrid
+// volume from the same data as the 256^3 reference.
+func (g *Grid) Downsample(k int) (*Grid, error) {
+	if k < 1 || g.Nx%k != 0 || g.Ny%k != 0 || g.Nz%k != 0 {
+		return nil, fmt.Errorf("hybrid: cannot downsample %dx%dx%d by %d", g.Nx, g.Ny, g.Nz, k)
+	}
+	out, err := NewGrid(g.Nx/k, g.Ny/k, g.Nz/k, g.Bounds)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / float32(k*k*k)
+	for z := 0; z < out.Nz; z++ {
+		for y := 0; y < out.Ny; y++ {
+			for x := 0; x < out.Nx; x++ {
+				var sum float32
+				for dz := 0; dz < k; dz++ {
+					for dy := 0; dy < k; dy++ {
+						for dx := 0; dx < k; dx++ {
+							sum += g.At(x*k+dx, y*k+dy, z*k+dz)
+						}
+					}
+				}
+				out.Set(x, y, z, sum*inv)
+			}
+		}
+	}
+	return out, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

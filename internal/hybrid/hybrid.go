@@ -1,0 +1,298 @@
+package hybrid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// Representation is one hybrid frame: the low-resolution density
+// volume standing in for the dense core, plus the full-resolution halo
+// points from octree leaves below the density threshold. It is the
+// unit the viewer loads, caches and renders (§2.4–2.5).
+type Representation struct {
+	Bounds    vec.AABB
+	Threshold float64 // leaf-density threshold used at extraction
+	MaxLeafD  float64 // max leaf density in the source tree (normalization)
+
+	Volume *Grid // normalized density volume of the full data
+
+	Points       []vec.V3  // halo points, in increasing leaf-density order
+	PointDensity []float32 // normalized leaf density per point (for the point TF)
+	// OrigIndex maps each halo point back to its particle index in the
+	// source frame. It is what makes the paper's §2.5 extension
+	// possible: "because points are drawn dynamically, they could be
+	// drawn (in terms of color or opacity) based on some dynamically
+	// calculated property that the scientist is interested in, such as
+	// temperature or emittance" — the viewer looks the property up per
+	// point at draw time instead of baking it in.
+	OrigIndex []int64
+}
+
+// ExtractConfig controls Extract.
+type ExtractConfig struct {
+	VolumeRes int     // density volume resolution per axis (e.g. 64)
+	Threshold float64 // leaf-density threshold; <= 0 means use Budget
+	Budget    int64   // max points to keep when Threshold <= 0
+	Workers   int
+}
+
+// Extract converts a partitioned tree into a hybrid representation:
+// the contiguous low-density prefix of the particle array becomes the
+// point set, and the full data is splatted into a VolumeRes^3 density
+// volume. This is the paper's "extraction program": because the
+// particle file is sorted by increasing density, the points kept are a
+// prefix copy and the discarded dense-core particles are only touched
+// by the (one-time) volume splat.
+func Extract(t *octree.Tree, cfg ExtractConfig) (*Representation, error) {
+	if cfg.VolumeRes < 2 {
+		return nil, fmt.Errorf("hybrid: volume resolution %d too small", cfg.VolumeRes)
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = t.ThresholdForBudget(cfg.Budget)
+	}
+	cut := t.CutLeaf(threshold)
+	end := t.LeafOffsets[cut]
+
+	rep := &Representation{
+		Bounds:    t.Bounds,
+		Threshold: threshold,
+	}
+	// Normalization: densities are expressed relative to the densest leaf.
+	if n := t.NumLeaves(); n > 0 {
+		rep.MaxLeafD = t.Leaf(n - 1).Density
+	}
+
+	// Halo points: contiguous prefix (copied so the representation is
+	// self-contained once the tree is evicted).
+	rep.Points = append([]vec.V3(nil), t.Points[:end]...)
+	rep.OrigIndex = append([]int64(nil), t.OrigIndex[:end]...)
+	rep.PointDensity = make([]float32, end)
+	norm := 1.0
+	if rep.MaxLeafD > 0 {
+		norm = 1 / rep.MaxLeafD
+	}
+	for k := 0; k < cut; k++ {
+		d := float32(t.Leaf(k).Density * norm)
+		for i := t.LeafOffsets[k]; i < t.LeafOffsets[k+1]; i++ {
+			rep.PointDensity[i] = d
+		}
+	}
+
+	// Density volume over the full data.
+	vol, err := Splat(t.Points, t.Bounds, cfg.VolumeRes, cfg.VolumeRes, cfg.VolumeRes, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	vol.Normalize()
+	rep.Volume = vol
+	return rep, nil
+}
+
+// NumPoints returns the number of halo points kept.
+func (r *Representation) NumPoints() int { return len(r.Points) }
+
+// SizeBytes returns the serialized payload size: the number behind the
+// paper's "hybrid data smaller than 100MB" and frame-cache claims.
+func (r *Representation) SizeBytes() int64 {
+	const header = 4 + 8 + 6*8 + 8 + 8 + 3*8 + 8 + 4 // magic, version, bounds, thresholds, dims, count, crc
+	return header + r.Volume.SizeBytes() + int64(len(r.Points))*24 +
+		int64(len(r.PointDensity))*4 + int64(len(r.OrigIndex))*8
+}
+
+// CompressionFactor returns rawBytes / SizeBytes for a raw frame of n
+// particles at 48 bytes each.
+func (r *Representation) CompressionFactor(n int64) float64 {
+	return float64(n*48) / float64(r.SizeBytes())
+}
+
+var magicHybrid = [4]byte{'A', 'C', 'H', 'Y'}
+
+const hybridVersion = 2
+
+// Write serializes the representation with a trailing CRC-32.
+func (r *Representation) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	if _, err := mw.Write(magicHybrid[:]); err != nil {
+		return fmt.Errorf("hybrid: writing magic: %w", err)
+	}
+	le := binary.LittleEndian
+	write := func(v any) error { return binary.Write(mw, le, v) }
+	if err := write(uint64(hybridVersion)); err != nil {
+		return err
+	}
+	for _, f := range []float64{
+		r.Bounds.Min.X, r.Bounds.Min.Y, r.Bounds.Min.Z,
+		r.Bounds.Max.X, r.Bounds.Max.Y, r.Bounds.Max.Z,
+		r.Threshold, r.MaxLeafD,
+	} {
+		if err := write(f); err != nil {
+			return err
+		}
+	}
+	for _, d := range []int64{int64(r.Volume.Nx), int64(r.Volume.Ny), int64(r.Volume.Nz)} {
+		if err := write(d); err != nil {
+			return err
+		}
+	}
+	if err := write(r.Volume.Data); err != nil {
+		return err
+	}
+	if err := write(int64(len(r.Points))); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := write([3]float64{p.X, p.Y, p.Z}); err != nil {
+			return err
+		}
+	}
+	if err := write(r.PointDensity); err != nil {
+		return err
+	}
+	if err := write(r.OrigIndex); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a representation written by Write, verifying the
+// checksum.
+func Read(rd io.Reader) (*Representation, error) {
+	br := bufio.NewReaderSize(rd, 1<<20)
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+	le := binary.LittleEndian
+	var magic [4]byte
+	if _, err := io.ReadFull(tr, magic[:]); err != nil {
+		return nil, fmt.Errorf("hybrid: reading magic: %w", err)
+	}
+	if magic != magicHybrid {
+		return nil, fmt.Errorf("hybrid: bad magic %q", magic[:])
+	}
+	read := func(v any) error { return binary.Read(tr, le, v) }
+	var version uint64
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != hybridVersion {
+		return nil, fmt.Errorf("hybrid: unsupported version %d", version)
+	}
+	var f [8]float64
+	if err := read(&f); err != nil {
+		return nil, err
+	}
+	r := &Representation{
+		Bounds:    vec.Box(vec.New(f[0], f[1], f[2]), vec.New(f[3], f[4], f[5])),
+		Threshold: f[6],
+		MaxLeafD:  f[7],
+	}
+	var dims [3]int64
+	if err := read(&dims); err != nil {
+		return nil, err
+	}
+	if dims[0] < 1 || dims[1] < 1 || dims[2] < 1 || dims[0]*dims[1]*dims[2] > 1<<33 {
+		return nil, fmt.Errorf("hybrid: implausible volume dims %v", dims)
+	}
+	vol, err := NewGrid(int(dims[0]), int(dims[1]), int(dims[2]), r.Bounds)
+	if err != nil {
+		return nil, err
+	}
+	if err := read(vol.Data); err != nil {
+		return nil, err
+	}
+	r.Volume = vol
+	var n int64
+	if err := read(&n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<40 {
+		return nil, fmt.Errorf("hybrid: implausible point count %d", n)
+	}
+	r.Points = make([]vec.V3, n)
+	for i := range r.Points {
+		var p [3]float64
+		if err := read(&p); err != nil {
+			return nil, err
+		}
+		r.Points[i] = vec.New(p[0], p[1], p[2])
+	}
+	r.PointDensity = make([]float32, n)
+	if err := read(&r.PointDensity); err != nil {
+		return nil, err
+	}
+	r.OrigIndex = make([]int64, n)
+	if err := read(&r.OrigIndex); err != nil {
+		return nil, err
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(br, le, &got); err != nil {
+		return nil, fmt.Errorf("hybrid: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("hybrid: checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	return r, nil
+}
+
+// WriteFile writes the representation to the named file.
+func (r *Representation) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hybrid: %w", err)
+	}
+	defer f.Close()
+	if err := r.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a representation from the named file.
+func ReadFile(path string) (*Representation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// SelectPoints applies the point transfer function: for each halo
+// point, the fraction tf.PointFraction(density) decides whether it is
+// drawn. Selection is deterministic — point i at fraction f is drawn
+// iff frac((i+1)*phi) < f with phi the golden-ratio conjugate — so "the
+// transfer function's value at 0.75 ... means three out of every four
+// points are drawn" holds without flicker between frames.
+func (r *Representation) SelectPoints(tf *LinkedTF) []int {
+	const phi = 0.6180339887498949
+	out := make([]int, 0, len(r.Points))
+	for i := range r.Points {
+		f := tf.PointFraction(float64(r.PointDensity[i]))
+		if f <= 0 {
+			continue
+		}
+		if f >= 1 {
+			out = append(out, i)
+			continue
+		}
+		u := math.Mod(float64(i+1)*phi, 1)
+		if u < f {
+			out = append(out, i)
+		}
+	}
+	return out
+}

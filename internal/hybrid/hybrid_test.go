@@ -1,0 +1,526 @@
+package hybrid
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+func unitBox() vec.AABB { return vec.Box(vec.New(0, 0, 0), vec.New(1, 1, 1)) }
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 4, 4, unitBox()); err == nil {
+		t.Error("accepted zero resolution")
+	}
+	if _, err := NewGrid(4, 4, 4, vec.Empty()); err == nil {
+		t.Error("accepted empty bounds")
+	}
+}
+
+func TestGridSetAtSample(t *testing.T) {
+	g, err := NewGrid(4, 4, 4, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(1, 2, 3, 5)
+	if got := g.At(1, 2, 3); got != 5 {
+		t.Errorf("At = %v, want 5", got)
+	}
+	// At clamps out-of-range coordinates.
+	if got := g.At(-1, 2, 3); got != g.At(0, 2, 3) {
+		t.Errorf("clamping failed: %v vs %v", got, g.At(0, 2, 3))
+	}
+	// Sampling exactly at the voxel center recovers the stored value.
+	center := vec.New((1.0+0.5)/4, (2.0+0.5)/4, (3.0+0.5)/4)
+	if got := g.Sample(center); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Sample(center) = %v, want 5", got)
+	}
+	// Outside the bounds sampling yields 0.
+	if got := g.Sample(vec.New(2, 2, 2)); got != 0 {
+		t.Errorf("Sample(outside) = %v, want 0", got)
+	}
+}
+
+func TestSampleInterpolatesLinearly(t *testing.T) {
+	g, err := NewGrid(2, 1, 1, unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(0, 0, 0, 0)
+	g.Set(1, 0, 0, 1)
+	// Halfway between the two voxel centers (x=0.25 and x=0.75).
+	if got := g.Sample(vec.New(0.5, 0.5, 0.5)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("midpoint sample = %v, want 0.5", got)
+	}
+	// Quarter of the way.
+	if got := g.Sample(vec.New(0.375, 0.5, 0.5)); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("quarter sample = %v, want 0.25", got)
+	}
+}
+
+func TestSplatConservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]vec.V3, 5000)
+	for i := range pts {
+		// Keep points well inside so no CIC weight falls off the grid.
+		pts[i] = vec.New(0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64())
+	}
+	g, err := Splat(pts, unitBox(), 16, 16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TotalMass(); math.Abs(got-5000) > 0.5 {
+		t.Errorf("total mass = %v, want 5000", got)
+	}
+}
+
+func TestSplatDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]vec.V3, 3000)
+	for i := range pts {
+		pts[i] = vec.New(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	g1, err := Splat(pts, unitBox(), 8, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := Splat(pts, unitBox(), 8, 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Data {
+		if math.Abs(float64(g1.Data[i]-g4.Data[i])) > 1e-3 {
+			t.Fatalf("voxel %d differs between 1 and 4 workers: %v vs %v", i, g1.Data[i], g4.Data[i])
+		}
+	}
+}
+
+func TestSplatEmpty(t *testing.T) {
+	g, err := Splat(nil, unitBox(), 4, 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalMass() != 0 {
+		t.Error("empty splat has mass")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	g, _ := NewGrid(2, 2, 2, unitBox())
+	g.Set(0, 0, 0, 4)
+	g.Set(1, 1, 1, 2)
+	factor := g.Normalize()
+	if factor != 4 {
+		t.Errorf("factor = %v, want 4", factor)
+	}
+	if g.MaxValue() != 1 {
+		t.Errorf("max after normalize = %v", g.MaxValue())
+	}
+	// All-zero grid: factor 0, unchanged.
+	z, _ := NewGrid(2, 2, 2, unitBox())
+	if f := z.Normalize(); f != 0 {
+		t.Errorf("zero-grid factor = %v", f)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	g, _ := NewGrid(4, 4, 4, unitBox())
+	for i := range g.Data {
+		g.Data[i] = 2
+	}
+	d, err := g.Downsample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nx != 2 || d.Ny != 2 || d.Nz != 2 {
+		t.Fatalf("downsampled dims %dx%dx%d", d.Nx, d.Ny, d.Nz)
+	}
+	for i, v := range d.Data {
+		if v != 2 {
+			t.Fatalf("voxel %d = %v, want 2 (box filter of constant field)", i, v)
+		}
+	}
+	if _, err := g.Downsample(3); err == nil {
+		t.Error("accepted non-divisor downsample factor")
+	}
+}
+
+func TestScalarTFValidation(t *testing.T) {
+	if _, err := NewScalarTF([]float64{0}, []float64{1}); err == nil {
+		t.Error("accepted single stop")
+	}
+	if _, err := NewScalarTF([]float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Error("accepted non-increasing positions")
+	}
+	if _, err := NewScalarTF([]float64{0, 2}, []float64{0, 1}); err == nil {
+		t.Error("accepted out-of-range position")
+	}
+	if _, err := NewScalarTF([]float64{0, 1}, []float64{0, 2}); err == nil {
+		t.Error("accepted out-of-range value")
+	}
+}
+
+func TestScalarTFEval(t *testing.T) {
+	tf, err := NewScalarTF([]float64{0.2, 0.4, 0.8}, []float64{0, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.0, 0},    // clamp below
+		{0.2, 0},    // first stop
+		{0.3, 0.5},  // mid first segment
+		{0.4, 1},    // second stop
+		{0.6, 0.75}, // mid second segment
+		{0.8, 0.5},  // last stop
+		{1.0, 0.5},  // clamp above
+	}
+	for _, c := range cases {
+		if got := tf.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStepRamp(t *testing.T) {
+	tf, err := StepRamp(0.1, 0.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tf.Eval(0.05); got != 0 {
+		t.Errorf("below lo: %v", got)
+	}
+	if got := tf.Eval(0.2); math.Abs(got-0.025) > 1e-12 {
+		t.Errorf("mid ramp: %v, want 0.025", got)
+	}
+	if got := tf.Eval(0.9); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("above hi: %v, want 0.05", got)
+	}
+	if _, err := StepRamp(0.5, 0.2, 1); err == nil {
+		t.Error("accepted lo > hi")
+	}
+}
+
+func TestColorMapEndpoints(t *testing.T) {
+	cm := HeatMap()
+	lo := cm.Eval(0)
+	hi := cm.Eval(1)
+	if lo != cm.Stops[0] {
+		t.Errorf("Eval(0) = %v", lo)
+	}
+	if hi != cm.Stops[len(cm.Stops)-1] {
+		t.Errorf("Eval(1) = %v", hi)
+	}
+	// Monotone red increase for the heat map.
+	if cm.Eval(0.2).R >= cm.Eval(0.9).R {
+		t.Error("heat map red channel not increasing")
+	}
+}
+
+func newTestLinked(t *testing.T) *LinkedTF {
+	t.Helper()
+	vol, err := StepRamp(0.1, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLinkedTF(vol, GrayMap(), 0.08, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLinkedTFStartsComplementary(t *testing.T) {
+	l := newTestLinked(t)
+	if !l.Complementary() {
+		t.Error("fresh linked TF not complementary")
+	}
+}
+
+// Fig 3(b) property: under any sequence of linked edits to either
+// profile, point fraction and volume weight remain exact complements.
+func TestLinkedTFInverseLinkProperty(t *testing.T) {
+	f := func(edits []struct {
+		OnVolume bool
+		Stop     uint8
+		Val      float64
+	}) bool {
+		l := newTestLinked(t)
+		for _, e := range edits {
+			i := int(e.Stop) % len(l.Volume.Val)
+			v := math.Abs(math.Mod(e.Val, 1))
+			if e.OnVolume {
+				if err := l.SetVolumeStop(i, v); err != nil {
+					return false
+				}
+			} else {
+				if err := l.SetPointStop(i, v); err != nil {
+					return false
+				}
+			}
+			if !l.Complementary() {
+				return false
+			}
+		}
+		// The evaluated profiles must also sum to 1 everywhere (same
+		// stop positions, complementary values, linear interpolation).
+		for x := 0.0; x <= 1.0; x += 0.01 {
+			if math.Abs(l.Volume.Eval(x)+l.Point.Eval(x)-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkedTFUnlinkedEditsIndependent(t *testing.T) {
+	l := newTestLinked(t)
+	l.Linked = false
+	if err := l.SetVolumeStop(0, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if l.Complementary() {
+		t.Error("unlinked edit still mirrored")
+	}
+}
+
+func TestPointFractionBeyondBoundary(t *testing.T) {
+	l := newTestLinked(t) // boundary 0.35
+	if got := l.PointFraction(0.5); got != 0 {
+		t.Errorf("fraction beyond boundary = %v, want 0 (no points stored there)", got)
+	}
+	if got := l.PointFraction(0.05); got <= 0 {
+		t.Errorf("fraction in sparse region = %v, want > 0", got)
+	}
+}
+
+func buildTree(t *testing.T, n int, seed int64) *octree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]vec.V3, n)
+	for i := range pts {
+		if rng.Float64() < 0.85 {
+			pts[i] = vec.New(rng.NormFloat64()*0.3, rng.NormFloat64()*0.3, rng.NormFloat64()*0.3)
+		} else {
+			pts[i] = vec.New(rng.Float64()*6-3, rng.Float64()*6-3, rng.Float64()*6-3)
+		}
+	}
+	tree, err := octree.Build(pts, octree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestExtractBasics(t *testing.T) {
+	tree := buildTree(t, 20000, 3)
+	rep, err := Extract(tree, ExtractConfig{VolumeRes: 16, Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumPoints() == 0 || rep.NumPoints() > 5000 {
+		t.Errorf("extracted %d points for budget 5000", rep.NumPoints())
+	}
+	if rep.Volume.MaxValue() != 1 {
+		t.Errorf("volume not normalized: max %v", rep.Volume.MaxValue())
+	}
+	if len(rep.PointDensity) != rep.NumPoints() {
+		t.Errorf("density array length %d != point count %d", len(rep.PointDensity), rep.NumPoints())
+	}
+	// Point densities are normalized and non-decreasing (density order).
+	prev := float32(-1)
+	for i, d := range rep.PointDensity {
+		if d < 0 || d > 1 {
+			t.Fatalf("point %d density %v outside [0,1]", i, d)
+		}
+		if d < prev {
+			t.Fatalf("point densities not sorted at %d", i)
+		}
+		prev = d
+	}
+}
+
+func TestExtractThresholdVsBudgetAgree(t *testing.T) {
+	tree := buildTree(t, 10000, 4)
+	byBudget, err := Extract(tree, ExtractConfig{VolumeRes: 8, Budget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byThreshold, err := Extract(tree, ExtractConfig{VolumeRes: 8, Threshold: byBudget.Threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byBudget.NumPoints() != byThreshold.NumPoints() {
+		t.Errorf("budget path kept %d, threshold path kept %d", byBudget.NumPoints(), byThreshold.NumPoints())
+	}
+}
+
+func TestExtractRejectsTinyVolume(t *testing.T) {
+	tree := buildTree(t, 100, 5)
+	if _, err := Extract(tree, ExtractConfig{VolumeRes: 1, Budget: 10}); err == nil {
+		t.Error("accepted 1-voxel volume")
+	}
+}
+
+func TestRepresentationRoundTrip(t *testing.T) {
+	tree := buildTree(t, 8000, 6)
+	rep, err := Extract(tree, ExtractConfig{VolumeRes: 8, Budget: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.NumPoints() != rep.NumPoints() || got.Threshold != rep.Threshold {
+		t.Fatalf("round trip changed shape")
+	}
+	for i := range rep.Points {
+		if got.Points[i] != rep.Points[i] || got.PointDensity[i] != rep.PointDensity[i] {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+	for i := range rep.Volume.Data {
+		if got.Volume.Data[i] != rep.Volume.Data[i] {
+			t.Fatalf("voxel %d mismatch", i)
+		}
+	}
+}
+
+func TestRepresentationDetectsCorruption(t *testing.T) {
+	tree := buildTree(t, 2000, 7)
+	rep, err := Extract(tree, ExtractConfig{VolumeRes: 8, Budget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xA5
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted representation accepted")
+	}
+}
+
+func TestSizeBytesMatchesEncoding(t *testing.T) {
+	tree := buildTree(t, 3000, 8)
+	rep, err := Extract(tree, ExtractConfig{VolumeRes: 8, Budget: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != rep.SizeBytes() {
+		t.Errorf("encoded %d bytes, SizeBytes says %d", buf.Len(), rep.SizeBytes())
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	tree := buildTree(t, 50000, 9)
+	rep, err := Extract(tree, ExtractConfig{VolumeRes: 16, Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := rep.CompressionFactor(50000); f <= 1 {
+		t.Errorf("compression factor %v <= 1; hybrid bigger than raw", f)
+	}
+}
+
+func TestSelectPointsFraction(t *testing.T) {
+	// Build a representation with uniform density so the TF fraction
+	// applies to all points equally.
+	rep := &Representation{
+		Points:       make([]vec.V3, 10000),
+		PointDensity: make([]float32, 10000),
+	}
+	for i := range rep.PointDensity {
+		rep.PointDensity[i] = 0.1
+	}
+	vol, err := NewScalarTF([]float64{0, 1}, []float64{0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLinkedTF(vol, GrayMap(), 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point fraction = 1 - 0.25 = 0.75: expect ~3 of 4 points drawn.
+	sel := rep.SelectPoints(l)
+	frac := float64(len(sel)) / 10000
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("selected fraction %v, want ~0.75", frac)
+	}
+	// Determinism.
+	sel2 := rep.SelectPoints(l)
+	if len(sel) != len(sel2) {
+		t.Error("selection not deterministic")
+	}
+}
+
+func TestSelectPointsExtremes(t *testing.T) {
+	rep := &Representation{
+		Points:       make([]vec.V3, 100),
+		PointDensity: make([]float32, 100),
+	}
+	all, err := NewScalarTF([]float64{0, 1}, []float64{0, 0}) // volume weight 0 -> point fraction 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLinkedTF(all, GrayMap(), 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.SelectPoints(l)); got != 100 {
+		t.Errorf("fraction 1 selected %d of 100", got)
+	}
+	none, err := NewScalarTF([]float64{0, 1}, []float64{1, 1}) // point fraction 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLinkedTF(none, GrayMap(), 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.SelectPoints(l2)); got != 0 {
+		t.Errorf("fraction 0 selected %d", got)
+	}
+}
+
+// §2.5: "Because the output data size does not necessarily depend on
+// the input data size, large simulations ... can be reduced to the
+// same size hybrid representation as the smaller simulations."
+func TestOutputSizeIndependentOfInputSize(t *testing.T) {
+	sizes := []int{20000, 80000}
+	const budget = 3000
+	var reps []*Representation
+	for _, n := range sizes {
+		tree := buildTree(t, n, int64(n))
+		rep, err := Extract(tree, ExtractConfig{VolumeRes: 16, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+	}
+	// Same volume resolution, same point budget: sizes within 25% of
+	// each other even though the inputs differ 4x.
+	a, b := reps[0].SizeBytes(), reps[1].SizeBytes()
+	ratio := float64(b) / float64(a)
+	if ratio > 1.25 || ratio < 0.75 {
+		t.Errorf("hybrid sizes %d vs %d (ratio %.2f) for 4x different inputs", a, b, ratio)
+	}
+}

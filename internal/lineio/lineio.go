@@ -1,0 +1,201 @@
+// Package lineio stores pre-integrated field lines compactly — the
+// strategy that makes the paper's time-varying field visualization
+// feasible at all: "Storing the precomputed field lines rather than
+// the raw data can significantly cut down the data storage and
+// transfer requirements ... The typical saving is about a factor of
+// 25, which would allow many time steps of electromagnetic field lines
+// to reside in memory for interactive viewing." For the 12-cell
+// structure, storing raw fields would need ~26 TB (§3.4); storing
+// lines makes the data set tractable.
+//
+// Lines are stored in single precision (positions, tangents are
+// recomputed on load from point differences, strengths kept) with a
+// per-file CRC-32.
+package lineio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/fieldline"
+	"repro/internal/vec"
+)
+
+var magic = [4]byte{'A', 'C', 'F', 'L'}
+
+const version = 1
+
+// Write serializes the lines to w.
+func Write(w io.Writer, lines []*fieldline.Line) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	le := binary.LittleEndian
+	if _, err := mw.Write(magic[:]); err != nil {
+		return fmt.Errorf("lineio: writing magic: %w", err)
+	}
+	put := func(v any) error { return binary.Write(mw, le, v) }
+	if err := put(uint32(version)); err != nil {
+		return err
+	}
+	if err := put(uint32(len(lines))); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if err := put(uint32(l.NumPoints())); err != nil {
+			return err
+		}
+		closed := uint8(0)
+		if l.Closed {
+			closed = 1
+		}
+		if err := put(closed); err != nil {
+			return err
+		}
+		for i, p := range l.Points {
+			rec := [4]float32{float32(p.X), float32(p.Y), float32(p.Z), float32(l.Strengths[i])}
+			if err := put(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, le, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes lines written by Write, recomputing unit tangents
+// from central differences of the stored points.
+func Read(r io.Reader) ([]*fieldline.Line, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+	le := binary.LittleEndian
+	var m [4]byte
+	if _, err := io.ReadFull(tr, m[:]); err != nil {
+		return nil, fmt.Errorf("lineio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("lineio: bad magic %q", m[:])
+	}
+	get := func(v any) error { return binary.Read(tr, le, v) }
+	var ver, count uint32
+	if err := get(&ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("lineio: unsupported version %d", ver)
+	}
+	if err := get(&count); err != nil {
+		return nil, err
+	}
+	if count > 1<<28 {
+		return nil, fmt.Errorf("lineio: implausible line count %d", count)
+	}
+	lines := make([]*fieldline.Line, 0, count)
+	for li := uint32(0); li < count; li++ {
+		var n uint32
+		if err := get(&n); err != nil {
+			return nil, fmt.Errorf("lineio: reading line %d header: %w", li, err)
+		}
+		if n > 1<<26 {
+			return nil, fmt.Errorf("lineio: implausible point count %d", n)
+		}
+		var closed uint8
+		if err := get(&closed); err != nil {
+			return nil, err
+		}
+		l := &fieldline.Line{Closed: closed != 0}
+		for i := uint32(0); i < n; i++ {
+			var rec [4]float32
+			if err := get(&rec); err != nil {
+				return nil, fmt.Errorf("lineio: reading line %d point %d: %w", li, i, err)
+			}
+			l.Points = append(l.Points, vecFrom(rec))
+			l.Strengths = append(l.Strengths, float64(rec[3]))
+		}
+		recomputeTangents(l)
+		lines = append(lines, l)
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(br, le, &got); err != nil {
+		return nil, fmt.Errorf("lineio: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("lineio: checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	return lines, nil
+}
+
+// WriteFile / ReadFile are the file-path conveniences.
+func WriteFile(path string, lines []*fieldline.Line) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lineio: %w", err)
+	}
+	defer f.Close()
+	if err := Write(f, lines); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a line file written by WriteFile.
+func ReadFile(path string) ([]*fieldline.Line, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lineio: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// LinesBytes returns the exact encoded size of the given lines.
+func LinesBytes(lines []*fieldline.Line) int64 {
+	total := int64(4 + 4 + 4 + 4) // magic, version, count, crc
+	for _, l := range lines {
+		total += 4 + 1 + int64(l.NumPoints())*16
+	}
+	return total
+}
+
+// SavingFactor returns rawFieldBytes / lineBytes — the paper's
+// "typical saving is about a factor of 25" metric.
+func SavingFactor(rawFieldBytes, lineBytes int64) float64 {
+	if lineBytes == 0 {
+		return 0
+	}
+	return float64(rawFieldBytes) / float64(lineBytes)
+}
+
+func vecFrom(rec [4]float32) vec.V3 {
+	return vec.New(float64(rec[0]), float64(rec[1]), float64(rec[2]))
+}
+
+// recomputeTangents rebuilds unit tangents from central differences of
+// the stored points — tangents are derivable data, so the file format
+// does not store them (part of the compactness).
+func recomputeTangents(l *fieldline.Line) {
+	n := len(l.Points)
+	l.Tangents = make([]vec.V3, n)
+	for i := 0; i < n; i++ {
+		var d vec.V3
+		switch {
+		case n == 1:
+			d = vec.New(1, 0, 0)
+		case i == 0:
+			d = l.Points[1].Sub(l.Points[0])
+		case i == n-1:
+			d = l.Points[n-1].Sub(l.Points[n-2])
+		default:
+			d = l.Points[i+1].Sub(l.Points[i-1])
+		}
+		l.Tangents[i] = d.Norm()
+	}
+}

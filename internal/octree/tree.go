@@ -1,0 +1,339 @@
+package octree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// NoChild marks a node without children (a leaf).
+const NoChild = int32(-1)
+
+// Node is one octree node. Children, when present, are eight
+// consecutive entries starting at FirstChild, indexed by the
+// AABB.Octant convention. Leaves own a contiguous group of the tree's
+// reordered point array.
+type Node struct {
+	Bounds     vec.AABB
+	FirstChild int32   // NoChild for leaves
+	Level      uint8   // root is level 0
+	Offset     int64   // leaf: start of its group in Tree.Points
+	Count      int64   // number of points in this subtree (== group size for leaves)
+	Density    float64 // Count / Bounds.Volume()
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.FirstChild == NoChild }
+
+// Tree is a partitioned particle data set: the octree plus the particle
+// positions reordered so that leaf groups are contiguous and ordered by
+// increasing leaf density. OrigIndex maps each reordered point back to
+// its index in the source data, so per-particle attributes (e.g. the
+// other three phase-space coordinates) can be looked up after
+// extraction.
+type Tree struct {
+	Bounds   vec.AABB
+	MaxLevel int
+	LeafCap  int // subdivision stops once a node holds <= LeafCap points
+
+	Nodes     []Node
+	Points    []vec.V3
+	OrigIndex []int64
+
+	// LeavesByDensity lists leaf node indices in increasing density
+	// order; group k occupies Points[LeafOffsets[k]:LeafOffsets[k+1]].
+	LeavesByDensity []int32
+	LeafOffsets     []int64
+}
+
+// Config controls a partitioning run.
+type Config struct {
+	MaxLevel int // maximal subdivision level (paper §2.3); 1..MaxLevel
+	LeafCap  int // target max points per leaf before subdividing further
+	Workers  int // parallelism (0 = auto)
+	// Pad expands the bounding box by this relative amount so points on
+	// the max faces land strictly inside the root cell.
+	Pad float64
+}
+
+// DefaultConfig returns the configuration used by the experiments:
+// level-8 subdivision (256^3 finest cells) with small leaves.
+func DefaultConfig() Config {
+	return Config{MaxLevel: 8, LeafCap: 64, Pad: 1e-9}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if c.MaxLevel < 1 || c.MaxLevel > MaxLevel {
+		return fmt.Errorf("octree: max level %d out of range [1, %d]", c.MaxLevel, MaxLevel)
+	}
+	if c.LeafCap < 1 {
+		return fmt.Errorf("octree: leaf capacity %d must be >= 1", c.LeafCap)
+	}
+	if c.Pad < 0 {
+		return fmt.Errorf("octree: pad %g must be non-negative", c.Pad)
+	}
+	return nil
+}
+
+// Build partitions the given points into an octree. The input slice is
+// not modified; the tree stores a reordered copy. Build is the
+// "partitioning program" of the paper's preprocessing pipeline.
+func Build(points []vec.V3, cfg Config) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("octree: no points to partition")
+	}
+
+	// Pass 1 (parallel): bounding box.
+	bounds := par.MapReduce(len(points), cfg.Workers,
+		vec.Empty,
+		func(b vec.AABB, lo, hi int) vec.AABB {
+			for i := lo; i < hi; i++ {
+				b = b.ExtendPoint(points[i])
+			}
+			return b
+		},
+		func(a, b vec.AABB) vec.AABB { return a.ExtendBox(b) },
+	)
+	// Make the root cell cubical so octants stay cubical at every level
+	// (equal per-level cell volumes make density comparisons uniform),
+	// then pad so max-face points map inside the last cell row.
+	size := bounds.Size().MaxComponent()
+	if size == 0 {
+		size = 1 // all points coincident; any box works
+	}
+	size *= 1 + cfg.Pad
+	c := bounds.Center()
+	half := size / 2
+	root := vec.Box(
+		vec.New(c.X-half, c.Y-half, c.Z-half),
+		vec.New(c.X+half, c.Y+half, c.Z+half),
+	)
+
+	// Pass 2 (parallel): Morton codes at the maximal level.
+	n := len(points)
+	cells := uint64(1) << uint(cfg.MaxLevel)
+	codes := make([]uint64, n)
+	scale := float64(cells) / size
+	par.For(n, cfg.Workers, func(i int) {
+		p := points[i]
+		cx := cellCoord((p.X-root.Min.X)*scale, cells)
+		cy := cellCoord((p.Y-root.Min.Y)*scale, cells)
+		cz := cellCoord((p.Z-root.Min.Z)*scale, cells)
+		// Shift codes up so they compare as if computed at MaxLevel
+		// resolution; childAt below uses cfg.MaxLevel consistently.
+		codes[i] = Encode(cx, cy, cz)
+	})
+
+	// Pass 3: sort point indices by code.
+	order := make([]int64, n)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return codes[order[a]] < codes[order[b]] })
+
+	// Pass 4: carve the tree out of the sorted array.
+	t := &Tree{
+		Bounds:   root,
+		MaxLevel: cfg.MaxLevel,
+		LeafCap:  cfg.LeafCap,
+	}
+	t.Nodes = append(t.Nodes, Node{Bounds: root, FirstChild: NoChild, Count: int64(n)})
+	t.build(0, 0, int64(n), codes, order, cfg)
+
+	// Pass 5: order leaves by increasing density and emit the grouped,
+	// density-sorted point array (the paper's particle-file layout).
+	var leaves []int32
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() && t.Nodes[i].Count > 0 {
+			leaves = append(leaves, int32(i))
+		}
+	}
+	sort.SliceStable(leaves, func(a, b int) bool {
+		return t.Nodes[leaves[a]].Density < t.Nodes[leaves[b]].Density
+	})
+
+	t.Points = make([]vec.V3, n)
+	t.OrigIndex = make([]int64, n)
+	t.LeavesByDensity = leaves
+	t.LeafOffsets = make([]int64, len(leaves)+1)
+	pos := int64(0)
+	for k, li := range leaves {
+		node := &t.Nodes[li]
+		t.LeafOffsets[k] = pos
+		// node.Offset currently holds the group start in the
+		// Morton-sorted order; rewrite it to the density-sorted order.
+		src := node.Offset
+		for j := int64(0); j < node.Count; j++ {
+			oi := order[src+j]
+			t.Points[pos+j] = points[oi]
+			t.OrigIndex[pos+j] = oi
+		}
+		node.Offset = pos
+		pos += node.Count
+	}
+	t.LeafOffsets[len(leaves)] = pos
+	return t, nil
+}
+
+// cellCoord clamps a scaled coordinate to a valid cell index.
+func cellCoord(x float64, cells uint64) uint64 {
+	if x <= 0 {
+		return 0
+	}
+	c := uint64(x)
+	if c >= cells {
+		c = cells - 1
+	}
+	return c
+}
+
+// build recursively subdivides node idx, whose points occupy
+// order[lo:hi] (Morton-sorted). Offsets stored here are provisional
+// (Morton order); Build rewrites them in density order afterwards.
+func (t *Tree) build(idx int32, lo, hi int64, codes []uint64, order []int64, cfg Config) {
+	node := &t.Nodes[idx]
+	node.Offset = lo
+	node.Count = hi - lo
+	vol := node.Bounds.Volume()
+	if vol > 0 {
+		node.Density = float64(node.Count) / vol
+	} else {
+		node.Density = math.Inf(1)
+	}
+	if hi-lo <= int64(cfg.LeafCap) || int(node.Level) >= cfg.MaxLevel {
+		return
+	}
+
+	level := int(node.Level)
+	first := int32(len(t.Nodes))
+	node.FirstChild = first
+	bounds := node.Bounds
+	childLevel := node.Level + 1
+	for c := 0; c < 8; c++ {
+		t.Nodes = append(t.Nodes, Node{
+			Bounds:     bounds.Octant(c),
+			FirstChild: NoChild,
+			Level:      childLevel,
+		})
+	}
+	// Split [lo,hi) by the 3-bit child id at this level; the Morton
+	// sort guarantees each child's points are contiguous.
+	start := lo
+	for c := 0; c < 8; c++ {
+		end := start
+		for end < hi && childAt(codes[order[end]], level, cfg.MaxLevel) == c {
+			end++
+		}
+		t.build(first+int32(c), start, end, codes, order, cfg)
+		start = end
+	}
+	if start != hi {
+		panic("octree: children do not partition parent range (Morton sort violated)")
+	}
+}
+
+// NumLeaves returns the number of non-empty leaf groups.
+func (t *Tree) NumLeaves() int { return len(t.LeavesByDensity) }
+
+// Leaf returns the k-th leaf in increasing-density order.
+func (t *Tree) Leaf(k int) *Node { return &t.Nodes[t.LeavesByDensity[k]] }
+
+// MaxDepth returns the deepest level present in the tree.
+func (t *Tree) MaxDepth() int {
+	d := 0
+	for i := range t.Nodes {
+		if int(t.Nodes[i].Level) > d {
+			d = int(t.Nodes[i].Level)
+		}
+	}
+	return d
+}
+
+// FindLeaf returns the leaf node containing p, or nil if p is outside
+// the root bounds.
+func (t *Tree) FindLeaf(p vec.V3) *Node {
+	if !t.Bounds.Contains(p) {
+		return nil
+	}
+	idx := int32(0)
+	for {
+		node := &t.Nodes[idx]
+		if node.IsLeaf() {
+			return node
+		}
+		idx = node.FirstChild + int32(node.Bounds.OctantIndex(p))
+	}
+}
+
+// Validate checks the tree's structural invariants. It is used by the
+// property tests and by the file reader to reject corrupt input:
+//
+//   - children tile their parent and partition its count
+//   - leaf groups are disjoint, contiguous, and cover Points exactly
+//   - leaf densities are non-decreasing in LeavesByDensity order
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("octree: empty tree")
+	}
+	var walk func(idx int32) (int64, error)
+	walk = func(idx int32) (int64, error) {
+		n := &t.Nodes[idx]
+		if n.IsLeaf() {
+			if n.Count > 0 {
+				if n.Offset < 0 || n.Offset+n.Count > int64(len(t.Points)) {
+					return 0, fmt.Errorf("octree: leaf %d group [%d,%d) out of range", idx, n.Offset, n.Offset+n.Count)
+				}
+				for j := n.Offset; j < n.Offset+n.Count; j++ {
+					if !n.Bounds.Contains(t.Points[j]) {
+						return 0, fmt.Errorf("octree: point %d outside its leaf bounds", j)
+					}
+				}
+			}
+			return n.Count, nil
+		}
+		var sum int64
+		for c := int32(0); c < 8; c++ {
+			cnt, err := walk(n.FirstChild + c)
+			if err != nil {
+				return 0, err
+			}
+			sum += cnt
+		}
+		if sum != n.Count {
+			return 0, fmt.Errorf("octree: node %d count %d != children sum %d", idx, n.Count, sum)
+		}
+		return sum, nil
+	}
+	total, err := walk(0)
+	if err != nil {
+		return err
+	}
+	if total != int64(len(t.Points)) {
+		return fmt.Errorf("octree: tree holds %d points, array has %d", total, len(t.Points))
+	}
+	if len(t.LeafOffsets) != len(t.LeavesByDensity)+1 {
+		return fmt.Errorf("octree: leaf offset table size mismatch")
+	}
+	prev := math.Inf(-1)
+	for k, li := range t.LeavesByDensity {
+		n := &t.Nodes[li]
+		if n.Density < prev {
+			return fmt.Errorf("octree: leaf %d density %g out of order (prev %g)", k, n.Density, prev)
+		}
+		prev = n.Density
+		if n.Offset != t.LeafOffsets[k] {
+			return fmt.Errorf("octree: leaf %d offset %d != table %d", k, n.Offset, t.LeafOffsets[k])
+		}
+		if n.Offset+n.Count != t.LeafOffsets[k+1] {
+			return fmt.Errorf("octree: leaf %d group end %d != table %d", k, n.Offset+n.Count, t.LeafOffsets[k+1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package par provides the goroutine-parallel building blocks used by
+// every heavy stage of the pipeline: octree construction, density
+// splatting, FDTD slab updates, ray casting, and field-line seeding.
+//
+// The paper's preprocessing ran on an IBM SP with thousands of CPUs and
+// on SLAC's 32-node cluster; here the same decompositions (range
+// chunking, slab decomposition, per-worker reduction) are expressed with
+// goroutines so the code retains the parallel structure at any core
+// count, including one.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the default worker count: GOMAXPROCS, but never less
+// than 1.
+func Workers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// For runs body(i) for every i in [0,n) across the given number of
+// workers (0 means Workers()). Iterations are distributed in contiguous
+// chunks so memory access within a worker stays sequential, which is
+// the access pattern the pipeline's large array passes need.
+func For(n, workers int, body func(i int)) {
+	ForChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunks splits [0,n) into one contiguous chunk per worker and calls
+// body(lo, hi) concurrently for each chunk. It blocks until every chunk
+// has been processed. n <= 0 is a no-op.
+func ForChunks(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduce runs mapBody on contiguous chunks of [0,n), each worker
+// accumulating into its own partial produced by newPartial, then folds
+// the partials together with merge on the calling goroutine. It is the
+// pattern used for parallel histogramming and min/max scans over
+// hundred-million-particle arrays.
+func MapReduce[T any](n, workers int, newPartial func() T, mapBody func(part T, lo, hi int) T, merge func(a, b T) T) T {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if n <= 0 {
+		return newPartial()
+	}
+	if workers > n {
+		workers = n
+	}
+	partials := make([]T, workers)
+	ForChunks(n, workers, func(lo, hi int) {
+		// Identify the worker by its chunk start; chunks are fixed-size.
+		chunk := (n + workers - 1) / workers
+		w := lo / chunk
+		partials[w] = mapBody(newPartial(), lo, hi)
+	})
+	out := newPartial()
+	for _, p := range partials {
+		out = merge(out, p)
+	}
+	return out
+}
+
+// Pool is a fixed-size worker pool executing submitted tasks. It is
+// used where work items are irregular (per-octree-node extraction,
+// per-seed field-line integration) and static chunking would imbalance.
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (0 means
+// Workers()) and a task queue of the given depth.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if queueDepth <= 0 {
+		queueDepth = workers * 4
+	}
+	p := &Pool{tasks: make(chan func(), queueDepth)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task. It blocks when the queue is full, which
+// provides natural backpressure against unbounded memory growth when a
+// producer (e.g. the seeding loop) outruns the integrators.
+func (p *Pool) Submit(task func()) {
+	p.wg.Add(1)
+	p.tasks <- task
+}
+
+// Wait blocks until every submitted task has completed. The pool
+// remains usable afterwards.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close waits for outstanding tasks and shuts the workers down. The
+// pool must not be used after Close.
+func (p *Pool) Close() {
+	p.wg.Wait()
+	p.once.Do(func() { close(p.tasks) })
+}
+
+// Slabs divides n layers (e.g. the z-extent of an FDTD grid) into
+// contiguous slabs, one per worker, and returns the slab boundaries as
+// a slice of [lo,hi) pairs. Domain-slab decomposition is how the
+// paper's parallel field solver distributes the mesh; the same
+// boundaries are reused across time steps so each worker touches the
+// same memory every step.
+func Slabs(n, workers int) [][2]int {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([][2]int, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	var hits [n]int32
+	For(n, 4, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestForSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	For(100, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("single worker out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestForChunksCoverRange(t *testing.T) {
+	f := func(n16 uint16, w8 uint8) bool {
+		n := int(n16 % 2000)
+		w := int(w8%8) + 1
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		ForChunks(n, w, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	const n = 100000
+	got := MapReduce(n, 4,
+		func() int64 { return 0 },
+		func(part int64, lo, hi int) int64 {
+			for i := lo; i < hi; i++ {
+				part += int64(i)
+			}
+			return part
+		},
+		func(a, b int64) int64 { return a + b },
+	)
+	want := int64(n) * (n - 1) / 2
+	if got != want {
+		t.Errorf("MapReduce sum = %d, want %d", got, want)
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, 4,
+		func() int { return 7 },
+		func(part int, lo, hi int) int { return part + hi - lo },
+		func(a, b int) int { return a + b },
+	)
+	if got != 7 {
+		t.Errorf("MapReduce on empty range = %d, want the fresh partial 7", got)
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Close()
+	var count int64
+	for i := 0; i < 1000; i++ {
+		p.Submit(func() { atomic.AddInt64(&count, 1) })
+	}
+	p.Wait()
+	if count != 1000 {
+		t.Errorf("pool ran %d tasks, want 1000", count)
+	}
+}
+
+func TestPoolReusableAfterWait(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	var count int64
+	p.Submit(func() { atomic.AddInt64(&count, 1) })
+	p.Wait()
+	p.Submit(func() { atomic.AddInt64(&count, 1) })
+	p.Wait()
+	if count != 2 {
+		t.Errorf("count = %d after two rounds, want 2", count)
+	}
+}
+
+func TestSlabsPartition(t *testing.T) {
+	slabs := Slabs(10, 3)
+	if len(slabs) == 0 {
+		t.Fatal("no slabs")
+	}
+	if slabs[0][0] != 0 {
+		t.Errorf("first slab starts at %d", slabs[0][0])
+	}
+	if slabs[len(slabs)-1][1] != 10 {
+		t.Errorf("last slab ends at %d", slabs[len(slabs)-1][1])
+	}
+	for i := 1; i < len(slabs); i++ {
+		if slabs[i][0] != slabs[i-1][1] {
+			t.Errorf("gap between slab %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestSlabsDegenerate(t *testing.T) {
+	if got := Slabs(0, 4); got != nil {
+		t.Errorf("Slabs(0) = %v, want nil", got)
+	}
+	slabs := Slabs(2, 16)
+	total := 0
+	for _, s := range slabs {
+		total += s[1] - s[0]
+	}
+	if total != 2 {
+		t.Errorf("slabs cover %d layers, want 2", total)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Errorf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,522 @@
+// Package pario implements the binary on-disk formats of the pipeline:
+// raw particle frames (the simulation output), and the two-part
+// partitioned representation of §2.3 — one part holding all particles
+// of the simulation grouped by octree node and sorted by increasing
+// node density, the other holding the octree nodes with their offsets
+// and counts into the particle part.
+//
+// All files are little-endian with a magic number, a format version,
+// and a trailing CRC-32 so corrupt or truncated transfers (the paper's
+// data moves across wide-area networks) are detected on load.
+package pario
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/beam"
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// Format magics. Four bytes each, versioned separately.
+var (
+	magicFrame = [4]byte{'A', 'C', 'P', 'F'} // accelerator particle frame
+	magicNodes = [4]byte{'A', 'C', 'O', 'N'} // octree nodes part
+	magicPts   = [4]byte{'A', 'C', 'O', 'P'} // octree particle part
+)
+
+const formatVersion = 1
+
+// countingWriter wraps a writer, tracking a running CRC and byte count.
+type countingWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	n   int64
+}
+
+func newCountingWriter(w io.Writer) *countingWriter {
+	return &countingWriter{w: w, crc: crc32.NewIEEE()}
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc.Write(p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// countingReader mirrors countingWriter for reads.
+type countingReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func newCountingReader(r io.Reader) *countingReader {
+	return &countingReader{r: r, crc: crc32.NewIEEE()}
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
+}
+
+// writeU64 / writeF64 / small helpers keep encoding uniform.
+func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeI64(w io.Writer, v int64) error  { return binary.Write(w, binary.LittleEndian, v) }
+func writeF64(w io.Writer, v float64) error {
+	return binary.Write(w, binary.LittleEndian, math.Float64bits(v))
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var v uint64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readI64(r io.Reader) (int64, error) {
+	var v int64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readF64(r io.Reader) (float64, error) {
+	v, err := readU64(r)
+	return math.Float64frombits(v), err
+}
+
+func writeFloatSlice(w io.Writer, s []float64) error {
+	return binary.Write(w, binary.LittleEndian, s)
+}
+
+func readFloatSlice(r io.Reader, n int64) ([]float64, error) {
+	s := make([]float64, n)
+	if err := binary.Read(r, binary.LittleEndian, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// finishCRC writes the running checksum (excluded from its own
+// coverage) after the payload.
+func finishCRC(cw *countingWriter) error {
+	return binary.Write(cw.w, binary.LittleEndian, cw.crc.Sum32())
+}
+
+// checkCRC reads the trailing checksum and compares.
+func checkCRC(cr *countingReader, what string) error {
+	want := cr.crc.Sum32()
+	var got uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &got); err != nil {
+		return fmt.Errorf("pario: reading %s checksum: %w", what, err)
+	}
+	if got != want {
+		return fmt.Errorf("pario: %s checksum mismatch (file %08x, computed %08x)", what, got, want)
+	}
+	return nil
+}
+
+// WriteFrame writes a simulation frame to w: all six phase-space
+// coordinates in double precision, exactly the storage model of the
+// paper's data (48 bytes per particle; "100 million particles requires
+// 5GB of storage per time step" — 5GB/100M ≈ 50 B/particle with
+// headers).
+func WriteFrame(w io.Writer, f beam.Frame) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := newCountingWriter(bw)
+	if _, err := cw.Write(magicFrame[:]); err != nil {
+		return fmt.Errorf("pario: writing frame magic: %w", err)
+	}
+	for _, v := range []uint64{formatVersion, uint64(f.Step)} {
+		if err := writeU64(cw, v); err != nil {
+			return fmt.Errorf("pario: writing frame header: %w", err)
+		}
+	}
+	if err := writeF64(cw, f.S); err != nil {
+		return fmt.Errorf("pario: writing frame header: %w", err)
+	}
+	if err := writeI64(cw, int64(f.E.Len())); err != nil {
+		return fmt.Errorf("pario: writing frame header: %w", err)
+	}
+	for _, s := range [][]float64{f.E.X, f.E.Y, f.E.Z, f.E.Px, f.E.Py, f.E.Pz} {
+		if err := writeFloatSlice(cw, s); err != nil {
+			return fmt.Errorf("pario: writing frame data: %w", err)
+		}
+	}
+	if err := finishCRC(cw); err != nil {
+		return fmt.Errorf("pario: writing frame checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadFrame reads a frame written by WriteFrame.
+func ReadFrame(r io.Reader) (beam.Frame, error) {
+	cr := newCountingReader(bufio.NewReaderSize(r, 1<<20))
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return beam.Frame{}, fmt.Errorf("pario: reading frame magic: %w", err)
+	}
+	if magic != magicFrame {
+		return beam.Frame{}, fmt.Errorf("pario: bad frame magic %q", magic[:])
+	}
+	version, err := readU64(cr)
+	if err != nil {
+		return beam.Frame{}, fmt.Errorf("pario: reading frame version: %w", err)
+	}
+	if version != formatVersion {
+		return beam.Frame{}, fmt.Errorf("pario: unsupported frame version %d", version)
+	}
+	step, err := readU64(cr)
+	if err != nil {
+		return beam.Frame{}, fmt.Errorf("pario: reading frame step: %w", err)
+	}
+	s, err := readF64(cr)
+	if err != nil {
+		return beam.Frame{}, fmt.Errorf("pario: reading frame position: %w", err)
+	}
+	n, err := readI64(cr)
+	if err != nil {
+		return beam.Frame{}, fmt.Errorf("pario: reading frame count: %w", err)
+	}
+	if n < 0 || n > 1<<40 {
+		return beam.Frame{}, fmt.Errorf("pario: implausible particle count %d", n)
+	}
+	f := beam.Frame{Step: int(step), S: s, E: beam.NewEnsemble(int(n))}
+	for _, dst := range []*[]float64{&f.E.X, &f.E.Y, &f.E.Z, &f.E.Px, &f.E.Py, &f.E.Pz} {
+		sl, err := readFloatSlice(cr, n)
+		if err != nil {
+			return beam.Frame{}, fmt.Errorf("pario: reading frame data: %w", err)
+		}
+		*dst = sl
+	}
+	if err := checkCRC(cr, "frame"); err != nil {
+		return beam.Frame{}, err
+	}
+	return f, nil
+}
+
+// WriteFrameFile writes a frame to the named file.
+func WriteFrameFile(path string, f beam.Frame) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pario: %w", err)
+	}
+	defer file.Close()
+	if err := WriteFrame(file, f); err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+// ReadFrameFile reads a frame from the named file.
+func ReadFrameFile(path string) (beam.Frame, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return beam.Frame{}, fmt.Errorf("pario: %w", err)
+	}
+	defer file.Close()
+	return ReadFrame(file)
+}
+
+// FrameBytes returns the exact encoded size of a frame with n
+// particles, used by the storage-accounting experiments (claim C3).
+func FrameBytes(n int64) int64 {
+	return 4 + 8 + 8 + 8 + 8 + 6*8*n + 4
+}
+
+// WriteTree writes the partitioned representation as the paper's two
+// parts: nodesW receives the octree nodes (with offsets and counts into
+// the particle part), ptsW receives the density-ordered particle
+// groups plus their original indices.
+func WriteTree(nodesW, ptsW io.Writer, t *octree.Tree) error {
+	// Nodes part.
+	bw := bufio.NewWriterSize(nodesW, 1<<20)
+	cw := newCountingWriter(bw)
+	if _, err := cw.Write(magicNodes[:]); err != nil {
+		return fmt.Errorf("pario: writing nodes magic: %w", err)
+	}
+	if err := writeU64(cw, formatVersion); err != nil {
+		return err
+	}
+	for _, v := range []float64{
+		t.Bounds.Min.X, t.Bounds.Min.Y, t.Bounds.Min.Z,
+		t.Bounds.Max.X, t.Bounds.Max.Y, t.Bounds.Max.Z,
+	} {
+		if err := writeF64(cw, v); err != nil {
+			return err
+		}
+	}
+	if err := writeI64(cw, int64(t.MaxLevel)); err != nil {
+		return err
+	}
+	if err := writeI64(cw, int64(t.LeafCap)); err != nil {
+		return err
+	}
+	if err := writeI64(cw, int64(len(t.Nodes))); err != nil {
+		return err
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if err := writeI64(cw, int64(n.FirstChild)); err != nil {
+			return err
+		}
+		if err := writeU64(cw, uint64(n.Level)); err != nil {
+			return err
+		}
+		if err := writeI64(cw, n.Offset); err != nil {
+			return err
+		}
+		if err := writeI64(cw, n.Count); err != nil {
+			return err
+		}
+		if err := writeF64(cw, n.Density); err != nil {
+			return err
+		}
+		for _, v := range []float64{
+			n.Bounds.Min.X, n.Bounds.Min.Y, n.Bounds.Min.Z,
+			n.Bounds.Max.X, n.Bounds.Max.Y, n.Bounds.Max.Z,
+		} {
+			if err := writeF64(cw, v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeI64(cw, int64(len(t.LeavesByDensity))); err != nil {
+		return err
+	}
+	for _, li := range t.LeavesByDensity {
+		if err := writeI64(cw, int64(li)); err != nil {
+			return err
+		}
+	}
+	for _, off := range t.LeafOffsets {
+		if err := writeI64(cw, off); err != nil {
+			return err
+		}
+	}
+	if err := finishCRC(cw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// Particle part.
+	bw2 := bufio.NewWriterSize(ptsW, 1<<20)
+	cw2 := newCountingWriter(bw2)
+	if _, err := cw2.Write(magicPts[:]); err != nil {
+		return fmt.Errorf("pario: writing points magic: %w", err)
+	}
+	if err := writeU64(cw2, formatVersion); err != nil {
+		return err
+	}
+	if err := writeI64(cw2, int64(len(t.Points))); err != nil {
+		return err
+	}
+	for i := range t.Points {
+		p := t.Points[i]
+		if err := writeF64(cw2, p.X); err != nil {
+			return err
+		}
+		if err := writeF64(cw2, p.Y); err != nil {
+			return err
+		}
+		if err := writeF64(cw2, p.Z); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(cw2, binary.LittleEndian, t.OrigIndex); err != nil {
+		return err
+	}
+	if err := finishCRC(cw2); err != nil {
+		return err
+	}
+	return bw2.Flush()
+}
+
+// ReadTree reads both parts written by WriteTree and validates the
+// reconstructed tree's invariants before returning it.
+func ReadTree(nodesR, ptsR io.Reader) (*octree.Tree, error) {
+	cr := newCountingReader(bufio.NewReaderSize(nodesR, 1<<20))
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("pario: reading nodes magic: %w", err)
+	}
+	if magic != magicNodes {
+		return nil, fmt.Errorf("pario: bad nodes magic %q", magic[:])
+	}
+	version, err := readU64(cr)
+	if err != nil || version != formatVersion {
+		return nil, fmt.Errorf("pario: unsupported nodes version %d (err %v)", version, err)
+	}
+	var bb [6]float64
+	for i := range bb {
+		if bb[i], err = readF64(cr); err != nil {
+			return nil, fmt.Errorf("pario: reading bounds: %w", err)
+		}
+	}
+	t := &octree.Tree{
+		Bounds: vec.Box(vec.New(bb[0], bb[1], bb[2]), vec.New(bb[3], bb[4], bb[5])),
+	}
+	maxLevel, err := readI64(cr)
+	if err != nil {
+		return nil, err
+	}
+	leafCap, err := readI64(cr)
+	if err != nil {
+		return nil, err
+	}
+	t.MaxLevel = int(maxLevel)
+	t.LeafCap = int(leafCap)
+	nNodes, err := readI64(cr)
+	if err != nil {
+		return nil, err
+	}
+	if nNodes <= 0 || nNodes > 1<<32 {
+		return nil, fmt.Errorf("pario: implausible node count %d", nNodes)
+	}
+	t.Nodes = make([]octree.Node, nNodes)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		fc, err := readI64(cr)
+		if err != nil {
+			return nil, fmt.Errorf("pario: reading node %d: %w", i, err)
+		}
+		n.FirstChild = int32(fc)
+		lvl, err := readU64(cr)
+		if err != nil {
+			return nil, err
+		}
+		n.Level = uint8(lvl)
+		if n.Offset, err = readI64(cr); err != nil {
+			return nil, err
+		}
+		if n.Count, err = readI64(cr); err != nil {
+			return nil, err
+		}
+		if n.Density, err = readF64(cr); err != nil {
+			return nil, err
+		}
+		for j := range bb {
+			if bb[j], err = readF64(cr); err != nil {
+				return nil, err
+			}
+		}
+		n.Bounds = vec.Box(vec.New(bb[0], bb[1], bb[2]), vec.New(bb[3], bb[4], bb[5]))
+	}
+	nLeaves, err := readI64(cr)
+	if err != nil {
+		return nil, err
+	}
+	if nLeaves < 0 || nLeaves > nNodes {
+		return nil, fmt.Errorf("pario: implausible leaf count %d", nLeaves)
+	}
+	t.LeavesByDensity = make([]int32, nLeaves)
+	for i := range t.LeavesByDensity {
+		v, err := readI64(cr)
+		if err != nil {
+			return nil, err
+		}
+		t.LeavesByDensity[i] = int32(v)
+	}
+	t.LeafOffsets = make([]int64, nLeaves+1)
+	for i := range t.LeafOffsets {
+		if t.LeafOffsets[i], err = readI64(cr); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkCRC(cr, "nodes"); err != nil {
+		return nil, err
+	}
+
+	// Particle part.
+	cr2 := newCountingReader(bufio.NewReaderSize(ptsR, 1<<20))
+	if _, err := io.ReadFull(cr2, magic[:]); err != nil {
+		return nil, fmt.Errorf("pario: reading points magic: %w", err)
+	}
+	if magic != magicPts {
+		return nil, fmt.Errorf("pario: bad points magic %q", magic[:])
+	}
+	version, err = readU64(cr2)
+	if err != nil || version != formatVersion {
+		return nil, fmt.Errorf("pario: unsupported points version %d (err %v)", version, err)
+	}
+	nPts, err := readI64(cr2)
+	if err != nil {
+		return nil, err
+	}
+	if nPts < 0 || nPts > 1<<40 {
+		return nil, fmt.Errorf("pario: implausible point count %d", nPts)
+	}
+	t.Points = make([]vec.V3, nPts)
+	for i := range t.Points {
+		x, err := readF64(cr2)
+		if err != nil {
+			return nil, fmt.Errorf("pario: reading point %d: %w", i, err)
+		}
+		y, err := readF64(cr2)
+		if err != nil {
+			return nil, err
+		}
+		z, err := readF64(cr2)
+		if err != nil {
+			return nil, err
+		}
+		t.Points[i] = vec.New(x, y, z)
+	}
+	t.OrigIndex = make([]int64, nPts)
+	if err := binary.Read(cr2, binary.LittleEndian, t.OrigIndex); err != nil {
+		return nil, err
+	}
+	if err := checkCRC(cr2, "points"); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("pario: loaded tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+// WriteTreeFiles writes base+".oct" and base+".pts" — the paper's
+// two-part layout on disk.
+func WriteTreeFiles(base string, t *octree.Tree) error {
+	nf, err := os.Create(base + ".oct")
+	if err != nil {
+		return fmt.Errorf("pario: %w", err)
+	}
+	defer nf.Close()
+	pf, err := os.Create(base + ".pts")
+	if err != nil {
+		return fmt.Errorf("pario: %w", err)
+	}
+	defer pf.Close()
+	if err := WriteTree(nf, pf, t); err != nil {
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	return pf.Close()
+}
+
+// ReadTreeFiles reads the pair written by WriteTreeFiles.
+func ReadTreeFiles(base string) (*octree.Tree, error) {
+	nf, err := os.Open(base + ".oct")
+	if err != nil {
+		return nil, fmt.Errorf("pario: %w", err)
+	}
+	defer nf.Close()
+	pf, err := os.Open(base + ".pts")
+	if err != nil {
+		return nil, fmt.Errorf("pario: %w", err)
+	}
+	defer pf.Close()
+	return ReadTree(nf, pf)
+}

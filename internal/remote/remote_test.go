@@ -1,0 +1,168 @@
+package remote
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/hybrid"
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+func testReps(t *testing.T, n int) []*hybrid.Representation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	reps := make([]*hybrid.Representation, n)
+	for f := 0; f < n; f++ {
+		pts := make([]vec.V3, 3000)
+		for i := range pts {
+			pts[i] = vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		}
+		tree, err := octree.Build(pts, octree.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := hybrid.Extract(tree, hybrid.ExtractConfig{VolumeRes: 8, Budget: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[f] = rep
+	}
+	return reps
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	reps := testReps(t, 3)
+	srv, err := NewServer("127.0.0.1:0", reps)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cli.Close()
+
+	n, err := cli.NumFrames()
+	if err != nil {
+		t.Fatalf("NumFrames: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("NumFrames = %d, want 3", n)
+	}
+
+	for i := 0; i < 3; i++ {
+		rep, size, _, err := cli.FetchFrame(i)
+		if err != nil {
+			t.Fatalf("FetchFrame(%d): %v", i, err)
+		}
+		if rep.NumPoints() != reps[i].NumPoints() {
+			t.Errorf("frame %d: %d points, want %d", i, rep.NumPoints(), reps[i].NumPoints())
+		}
+		if size != srv.FrameBytes(i) {
+			t.Errorf("frame %d: transferred %d bytes, server says %d", i, size, srv.FrameBytes(i))
+		}
+	}
+}
+
+func TestFetchMissingFrame(t *testing.T) {
+	reps := testReps(t, 1)
+	srv, err := NewServer("127.0.0.1:0", reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, _, _, err := cli.FetchFrame(99); err == nil {
+		t.Error("missing frame fetched without error")
+	}
+}
+
+func TestBandwidthThrottle(t *testing.T) {
+	reps := testReps(t, 1)
+	srv, err := NewServer("127.0.0.1:0", reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Unthrottled fetch time.
+	fast, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	_, size, fastTime, err := fast.FetchFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Throttled to a rate that makes the frame take >= 100ms.
+	slow, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	slow.BandwidthBps = size * 10 // frame takes ~100 ms
+	_, _, slowTime, err := slow.FetchFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowTime < 80*time.Millisecond {
+		t.Errorf("throttled fetch took %v, want >= ~100ms", slowTime)
+	}
+	if slowTime <= fastTime {
+		t.Errorf("throttled (%v) not slower than unthrottled (%v)", slowTime, fastTime)
+	}
+}
+
+func TestTransferEstimate(t *testing.T) {
+	// The paper's numbers: 100MB frame at 10MB/s ~ 10 s.
+	d := TransferEstimate(100<<20, 10<<20)
+	if d < 9*time.Second || d > 11*time.Second {
+		t.Errorf("100MB at 10MB/s = %v, want ~10s", d)
+	}
+	if TransferEstimate(100, 0) != 0 {
+		t.Error("zero bandwidth should return 0")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	reps := testReps(t, 2)
+	srv, err := NewServer("127.0.0.1:0", reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		go func() {
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 2; i++ {
+				if _, _, _, err := cli.FetchFrame(i); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent client: %v", err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package render
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Camera combines a look-at view transform with a perspective
+// projection and provides world-to-screen mapping for the rasterizer.
+type Camera struct {
+	Eye    vec.V3
+	View   vec.M4
+	Proj   vec.M4
+	Near   float64
+	Far    float64
+	Fovy   float64
+	Aspect float64
+}
+
+// NewCamera constructs a perspective camera at eye looking at target.
+func NewCamera(eye, target, up vec.V3, fovy, aspect, near, far float64) (Camera, error) {
+	if fovy <= 0 || fovy >= math.Pi {
+		return Camera{}, fmt.Errorf("render: fovy %g out of range", fovy)
+	}
+	if near <= 0 || far <= near {
+		return Camera{}, fmt.Errorf("render: bad near/far %g/%g", near, far)
+	}
+	if eye.Sub(target).Len() == 0 {
+		return Camera{}, fmt.Errorf("render: eye and target coincide")
+	}
+	return Camera{
+		Eye:    eye,
+		View:   vec.LookAt(eye, target, up),
+		Proj:   vec.Perspective(fovy, aspect, near, far),
+		Near:   near,
+		Far:    far,
+		Fovy:   fovy,
+		Aspect: aspect,
+	}, nil
+}
+
+// LookAtBounds places a camera looking at the center of box b from the
+// given direction, far enough away that the whole box is in view. It is
+// the convenience every example and benchmark uses to frame a data set.
+func LookAtBounds(b vec.AABB, dir vec.V3, fovy, aspect float64) (Camera, error) {
+	if b.IsEmpty() {
+		return Camera{}, fmt.Errorf("render: cannot frame empty bounds")
+	}
+	center := b.Center()
+	radius := b.Diagonal() / 2
+	if radius == 0 {
+		radius = 1
+	}
+	dist := radius / math.Tan(fovy/2) * 1.2
+	eye := center.Add(dir.Norm().Scale(dist))
+	up := vec.New(0, 1, 0)
+	if math.Abs(dir.Norm().Dot(up)) > 0.95 {
+		up = vec.New(1, 0, 0)
+	}
+	return NewCamera(eye, center, up, fovy, aspect, dist/100, dist*10)
+}
+
+// viewSpace transforms a world point into view space (camera at origin
+// looking down -Z).
+func (c Camera) viewSpace(p vec.V3) vec.V3 { return c.View.Apply(p) }
+
+// project maps a view-space point to screen coordinates and depth.
+// ok is false when the point is on or behind the near plane.
+func (c Camera) project(v vec.V3, w, h int) (sx, sy, depth float64, ok bool) {
+	if v.Z >= -c.Near {
+		return 0, 0, 0, false
+	}
+	ndc := c.Proj.Apply(v)
+	sx = (ndc.X + 1) / 2 * float64(w)
+	sy = (1 - ndc.Y) / 2 * float64(h)
+	return sx, sy, ndc.Z, true
+}
+
+// WorldToScreen maps a world point directly to screen coordinates.
+func (c Camera) WorldToScreen(p vec.V3, w, h int) (sx, sy, depth float64, ok bool) {
+	return c.project(c.viewSpace(p), w, h)
+}
+
+// ViewDir returns the unit vector from p toward the camera eye.
+func (c Camera) ViewDir(p vec.V3) vec.V3 { return c.Eye.Sub(p).Norm() }
+
+// Ray returns the world-space origin and unit direction of the viewing
+// ray through pixel (px, py) of a w x h image — the ray generator of
+// the volume ray caster.
+func (c Camera) Ray(px, py, w, h int) (origin, dir vec.V3) {
+	ndcX := 2*(float64(px)+0.5)/float64(w) - 1
+	ndcY := 1 - 2*(float64(py)+0.5)/float64(h)
+	tan := math.Tan(c.Fovy / 2)
+	// View-space direction through the pixel.
+	vd := vec.New(ndcX*tan*c.Aspect, ndcY*tan, -1)
+	// The view matrix rows hold the camera basis (s, u, -f); its
+	// rotation inverse is the transpose.
+	s := vec.New(c.View[0], c.View[1], c.View[2])
+	u := vec.New(c.View[4], c.View[5], c.View[6])
+	nf := vec.New(c.View[8], c.View[9], c.View[10]) // -f
+	world := s.Scale(vd.X).Add(u.Scale(vd.Y)).Add(nf.Scale(vd.Z))
+	return c.Eye, world.Norm()
+}
+
+// ViewZ returns the view-space z coordinate of a world point (negative
+// in front of the camera).
+func (c Camera) ViewZ(p vec.V3) float64 { return c.viewSpace(p).Z }
+
+// NDCDepth converts a view-space z (negative in front of the camera)
+// to the normalized-device depth stored in the depth buffer, so volume
+// marching can compare against rasterized geometry.
+func (c Camera) NDCDepth(viewZ float64) float64 {
+	n, f := c.Near, c.Far
+	return ((f+n)/(n-f)*viewZ + 2*f*n/(n-f)) / -viewZ
+}
+
+// PixelRadius returns the approximate screen-space radius in pixels of
+// a sphere of worldRadius at world position p — used to size point
+// splats and self-orienting strip widths consistently with perspective.
+func (c Camera) PixelRadius(p vec.V3, worldRadius float64, h int) float64 {
+	d := c.viewSpace(p)
+	dist := -d.Z
+	if dist <= c.Near {
+		return 0
+	}
+	return worldRadius / (dist * math.Tan(c.Fovy/2)) * float64(h) / 2
+}

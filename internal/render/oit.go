@@ -1,0 +1,104 @@
+package render
+
+import (
+	"sort"
+
+	"repro/internal/hybrid"
+)
+
+// OITBuffer implements order-independent transparency: fragments are
+// collected per pixel with their depths and composited back-to-front
+// at resolve time, regardless of submission order. This is the
+// software equivalent of the "order-independent transparency technique
+// supported on the nVidia GeForce 3" that §3.3.3 proposes coupling
+// with self-orienting surfaces (noting it "would require disabling
+// bump mapping" — the caller uses a plain Phong shader).
+//
+// Usage: attach with Rasterizer.AttachOIT, draw transparent geometry
+// in any order, then Resolve to composite into the framebuffer.
+type OITBuffer struct {
+	W, H  int
+	lists [][]oitFragment
+	// FragmentCount tallies stored fragments (memory cost metric: this
+	// is why the hardware variant was bounded to a few layers).
+	FragmentCount int64
+}
+
+type oitFragment struct {
+	depth float32
+	color hybrid.RGBA
+}
+
+// NewOITBuffer allocates per-pixel fragment lists for a w x h frame.
+func NewOITBuffer(w, h int) *OITBuffer {
+	return &OITBuffer{W: w, H: h, lists: make([][]oitFragment, w*h)}
+}
+
+// Add stores a fragment for pixel (x, y).
+func (o *OITBuffer) Add(x, y int, depth float32, c hybrid.RGBA) {
+	if x < 0 || x >= o.W || y < 0 || y >= o.H || c.A <= 0 {
+		return
+	}
+	i := y*o.W + x
+	o.lists[i] = append(o.lists[i], oitFragment{depth, c})
+	o.FragmentCount++
+}
+
+// Resolve sorts each pixel's fragments far-to-near and composites them
+// over the framebuffer with straight alpha. Fragments behind the
+// framebuffer's opaque depth are discarded (the opaque scene occludes
+// them). The buffer is cleared afterwards.
+func (o *OITBuffer) Resolve(fb *Framebuffer) {
+	for i := range o.lists {
+		frags := o.lists[i]
+		if len(frags) == 0 {
+			continue
+		}
+		x, y := i%o.W, i/o.W
+		zOpaque := fb.Depth[i]
+		sort.Slice(frags, func(a, b int) bool { return frags[a].depth > frags[b].depth })
+		for _, f := range frags {
+			if f.depth > zOpaque {
+				continue // behind opaque geometry
+			}
+			fb.writeFragment(x, y, f.depth, f.color, BlendAlpha, false, false)
+		}
+		o.lists[i] = nil
+	}
+}
+
+// MaxDepthComplexity returns the largest per-pixel fragment count
+// currently stored — the "layers" statistic that bounded the hardware
+// implementation.
+func (o *OITBuffer) MaxDepthComplexity() int {
+	m := 0
+	for i := range o.lists {
+		if len(o.lists[i]) > m {
+			m = len(o.lists[i])
+		}
+	}
+	return m
+}
+
+// AttachOIT redirects the rasterizer's blended fragments into the OIT
+// buffer instead of the framebuffer: it returns a restore function.
+// While attached, the rasterizer must use BlendAlpha mode; opaque
+// passes should be drawn (and depth-written) before attaching so
+// Resolve can occlusion-test against them.
+func (r *Rasterizer) AttachOIT(o *OITBuffer) (restore func()) {
+	prev := r.fragmentSink
+	r.fragmentSink = func(x, y int, depth float32, c hybrid.RGBA) bool {
+		// Depth-test against opaque geometry now; defer blending.
+		if r.DepthTest {
+			if x < 0 || x >= r.FB.W || y < 0 || y >= r.FB.H {
+				return true
+			}
+			if depth > r.FB.Depth[y*r.FB.W+x] {
+				return true
+			}
+		}
+		o.Add(x, y, depth, c)
+		return true
+	}
+	return func() { r.fragmentSink = prev }
+}

@@ -1,0 +1,294 @@
+package render
+
+import (
+	"math"
+
+	"repro/internal/hybrid"
+	"repro/internal/vec"
+)
+
+// Vertex carries the per-vertex attributes the pipeline interpolates:
+// world position, shading normal, texture coordinates and color.
+type Vertex struct {
+	Pos   vec.V3
+	N     vec.V3
+	UV    [2]float64
+	Color hybrid.RGBA
+}
+
+// Fragment is the interpolated state handed to a fragment shader.
+type Fragment struct {
+	Pos     vec.V3 // world position
+	N       vec.V3 // interpolated (unnormalized) shading normal
+	UV      [2]float64
+	Color   hybrid.RGBA
+	ViewDir vec.V3 // unit vector toward the camera
+}
+
+// Shader computes a fragment's final color; nil means "use the
+// interpolated vertex color unchanged". It is the software analog of
+// the fragment stage the paper programs through texturing and register
+// combiners.
+type Shader func(f Fragment) hybrid.RGBA
+
+// Rasterizer draws primitives into a framebuffer through a camera.
+// Configure the public fields, then call the Draw methods. The zero
+// value is not usable; construct with NewRasterizer.
+type Rasterizer struct {
+	FB  *Framebuffer
+	Cam Camera
+
+	Mode       BlendMode
+	DepthTest  bool
+	DepthWrite bool
+	Shade      Shader
+
+	// Stats: fragments written and triangles submitted, the cost model
+	// the technique-comparison experiments report.
+	FragmentCount int64
+	TriangleCount int64
+	PointCount    int64
+	LineCount     int64
+
+	// fragmentSink, when set, intercepts fragments before the
+	// framebuffer (used by the order-independent transparency buffer).
+	// Returning true consumes the fragment.
+	fragmentSink func(x, y int, depth float32, c hybrid.RGBA) bool
+}
+
+// emit routes one fragment through the optional sink, then the
+// framebuffer.
+func (r *Rasterizer) emit(x, y int, depth float32, c hybrid.RGBA) {
+	r.FragmentCount++
+	if r.fragmentSink != nil && r.fragmentSink(x, y, depth, c) {
+		return
+	}
+	r.FB.writeFragment(x, y, depth, c, r.Mode, r.DepthTest, r.DepthWrite)
+}
+
+// NewRasterizer returns an opaque-mode rasterizer with depth testing.
+func NewRasterizer(fb *Framebuffer, cam Camera) *Rasterizer {
+	return &Rasterizer{FB: fb, Cam: cam, Mode: BlendOpaque, DepthTest: true, DepthWrite: true}
+}
+
+// ResetStats zeroes the primitive counters.
+func (r *Rasterizer) ResetStats() {
+	r.FragmentCount, r.TriangleCount, r.PointCount, r.LineCount = 0, 0, 0, 0
+}
+
+// DrawPoint splats a round point of the given pixel radius with a
+// Gaussian alpha falloff, the viewer's particle primitive.
+func (r *Rasterizer) DrawPoint(p vec.V3, pixelRadius float64, c hybrid.RGBA) {
+	sx, sy, depth, ok := r.Cam.WorldToScreen(p, r.FB.W, r.FB.H)
+	if !ok {
+		return
+	}
+	r.PointCount++
+	if pixelRadius < 0.5 {
+		pixelRadius = 0.5
+	}
+	ir := int(math.Ceil(pixelRadius))
+	cx, cy := int(sx), int(sy)
+	inv2s2 := 1 / (2 * (pixelRadius / 2) * (pixelRadius / 2))
+	for dy := -ir; dy <= ir; dy++ {
+		for dx := -ir; dx <= ir; dx++ {
+			d2 := float64(dx*dx + dy*dy)
+			if d2 > pixelRadius*pixelRadius {
+				continue
+			}
+			w := math.Exp(-d2 * inv2s2)
+			fc := c
+			fc.A = c.A * w
+			r.emit(cx+dx, cy+dy, float32(depth), fc)
+		}
+	}
+}
+
+// DrawLine draws a depth-interpolated line with the given pixel width.
+// Widths > 1 stamp a small disc at each step (the "fat line" fallback
+// the conventional line-drawing technique of Fig 6(a) uses).
+func (r *Rasterizer) DrawLine(p0, p1 vec.V3, width float64, c0, c1 hybrid.RGBA) {
+	a := r.Cam.viewSpace(p0)
+	b := r.Cam.viewSpace(p1)
+	// Clip to the near plane in view space.
+	nz := -r.Cam.Near
+	if a.Z >= nz && b.Z >= nz {
+		return
+	}
+	if a.Z >= nz || b.Z >= nz {
+		t := (nz - a.Z) / (b.Z - a.Z)
+		clip := a.Lerp(b, t)
+		if a.Z >= nz {
+			a = clip
+		} else {
+			b = clip
+		}
+	}
+	r.LineCount++
+	ax, ay, ad, _ := r.Cam.project(a, r.FB.W, r.FB.H)
+	bx, by, bd, _ := r.Cam.project(b, r.FB.W, r.FB.H)
+	dx, dy := bx-ax, by-ay
+	steps := int(math.Max(math.Abs(dx), math.Abs(dy))) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		x := ax + t*dx
+		y := ay + t*dy
+		d := ad + t*(bd-ad)
+		c := c0.Lerp(c1, t)
+		if width <= 1 {
+			r.emit(int(x), int(y), float32(d), c)
+			continue
+		}
+		ir := int(math.Ceil(width / 2))
+		for oy := -ir; oy <= ir; oy++ {
+			for ox := -ir; ox <= ir; ox++ {
+				if float64(ox*ox+oy*oy) > width*width/4 {
+					continue
+				}
+				r.emit(int(x)+ox, int(y)+oy, float32(d), c)
+			}
+		}
+	}
+}
+
+// clipVert is a view-space vertex used during near-plane clipping.
+type clipVert struct {
+	pos   vec.V3 // view space
+	world vec.V3
+	n     vec.V3
+	uv    [2]float64
+	color hybrid.RGBA
+}
+
+func lerpClip(a, b clipVert, t float64) clipVert {
+	return clipVert{
+		pos:   a.pos.Lerp(b.pos, t),
+		world: a.world.Lerp(b.world, t),
+		n:     a.n.Lerp(b.n, t),
+		uv:    [2]float64{a.uv[0] + t*(b.uv[0]-a.uv[0]), a.uv[1] + t*(b.uv[1]-a.uv[1])},
+		color: a.color.Lerp(b.color, t),
+	}
+}
+
+// DrawTriangle rasterizes one triangle with perspective-correct
+// attribute interpolation and near-plane clipping.
+func (r *Rasterizer) DrawTriangle(v0, v1, v2 Vertex) {
+	r.TriangleCount++
+	poly := []clipVert{
+		{pos: r.Cam.viewSpace(v0.Pos), world: v0.Pos, n: v0.N, uv: v0.UV, color: v0.Color},
+		{pos: r.Cam.viewSpace(v1.Pos), world: v1.Pos, n: v1.N, uv: v1.UV, color: v1.Color},
+		{pos: r.Cam.viewSpace(v2.Pos), world: v2.Pos, n: v2.N, uv: v2.UV, color: v2.Color},
+	}
+	// Sutherland-Hodgman clip against z = -near.
+	nz := -r.Cam.Near
+	var clipped []clipVert
+	for i := 0; i < len(poly); i++ {
+		cur, next := poly[i], poly[(i+1)%len(poly)]
+		curIn := cur.pos.Z < nz
+		nextIn := next.pos.Z < nz
+		if curIn {
+			clipped = append(clipped, cur)
+		}
+		if curIn != nextIn {
+			t := (nz - cur.pos.Z) / (next.pos.Z - cur.pos.Z)
+			clipped = append(clipped, lerpClip(cur, next, t))
+		}
+	}
+	if len(clipped) < 3 {
+		return
+	}
+	for i := 1; i+1 < len(clipped); i++ {
+		r.fillTriangle(clipped[0], clipped[i], clipped[i+1])
+	}
+}
+
+// DrawTriangleStrip draws vertices as a strip: (0,1,2), (1,2,3), ...
+// with alternating winding — the exact primitive self-orienting
+// surfaces are built from.
+func (r *Rasterizer) DrawTriangleStrip(verts []Vertex) {
+	for i := 0; i+2 < len(verts); i++ {
+		if i%2 == 0 {
+			r.DrawTriangle(verts[i], verts[i+1], verts[i+2])
+		} else {
+			r.DrawTriangle(verts[i+1], verts[i], verts[i+2])
+		}
+	}
+}
+
+// fillTriangle rasterizes a clipped view-space triangle.
+func (r *Rasterizer) fillTriangle(a, b, c clipVert) {
+	w, h := r.FB.W, r.FB.H
+	ax, ay, ad, ok0 := r.Cam.project(a.pos, w, h)
+	bx, by, bd, ok1 := r.Cam.project(b.pos, w, h)
+	cx, cy, cd, ok2 := r.Cam.project(c.pos, w, h)
+	if !ok0 || !ok1 || !ok2 {
+		return
+	}
+	// Inverse view-space depth for perspective-correct interpolation.
+	aw := -1 / a.pos.Z
+	bw := -1 / b.pos.Z
+	cw := -1 / c.pos.Z
+
+	minX := int(math.Floor(math.Min(ax, math.Min(bx, cx))))
+	maxX := int(math.Ceil(math.Max(ax, math.Max(bx, cx))))
+	minY := int(math.Floor(math.Min(ay, math.Min(by, cy))))
+	maxY := int(math.Ceil(math.Max(ay, math.Max(by, cy))))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX >= w {
+		maxX = w - 1
+	}
+	if maxY >= h {
+		maxY = h - 1
+	}
+	area := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+	if area == 0 {
+		return
+	}
+	invArea := 1 / area
+
+	for py := minY; py <= maxY; py++ {
+		for px := minX; px <= maxX; px++ {
+			x := float64(px) + 0.5
+			y := float64(py) + 0.5
+			w0 := ((bx-x)*(cy-y) - (by-y)*(cx-x)) * invArea
+			w1 := ((cx-x)*(ay-y) - (cy-y)*(ax-x)) * invArea
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			depth := w0*ad + w1*bd + w2*cd
+			// Perspective-correct weights.
+			pw := w0*aw + w1*bw + w2*cw
+			u0 := w0 * aw / pw
+			u1 := w1 * bw / pw
+			u2 := w2 * cw / pw
+
+			col := hybrid.RGBA{
+				R: u0*a.color.R + u1*b.color.R + u2*c.color.R,
+				G: u0*a.color.G + u1*b.color.G + u2*c.color.G,
+				B: u0*a.color.B + u1*b.color.B + u2*c.color.B,
+				A: u0*a.color.A + u1*b.color.A + u2*c.color.A,
+			}
+			if r.Shade != nil {
+				world := a.world.Scale(u0).Add(b.world.Scale(u1)).Add(c.world.Scale(u2))
+				frag := Fragment{
+					Pos:     world,
+					N:       a.n.Scale(u0).Add(b.n.Scale(u1)).Add(c.n.Scale(u2)),
+					UV:      [2]float64{u0*a.uv[0] + u1*b.uv[0] + u2*c.uv[0], u0*a.uv[1] + u1*b.uv[1] + u2*c.uv[1]},
+					Color:   col,
+					ViewDir: r.Cam.ViewDir(world),
+				}
+				col = r.Shade(frag)
+				if col.A <= 0 {
+					continue
+				}
+			}
+			r.emit(px, py, float32(depth), col)
+		}
+	}
+}

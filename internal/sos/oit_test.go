@@ -1,0 +1,53 @@
+package sos
+
+import (
+	"testing"
+
+	"repro/internal/fieldline"
+	"repro/internal/render"
+	"repro/internal/stats"
+	"repro/internal/vec"
+)
+
+// The OIT transparent variant must produce nearly the same image as the
+// depth-sorted transparent technique (both composite the same fragments
+// back-to-front; OIT just does it per pixel at resolve time).
+func TestOITMatchesSortedTransparency(t *testing.T) {
+	set := []*fieldline.Line{helix(50), helix(70), straightLine(30)}
+	cam := testCam(t)
+	opts := DefaultOptions(4)
+	opts.FocusCenter = vec.New(0, 0, 0)
+	opts.FocusRadius = 1.2
+
+	fbSorted, _ := render.NewFramebuffer(96, 96)
+	RenderLines(fbSorted, cam, set, TechTransparent, opts)
+	fbOIT, _ := render.NewFramebuffer(96, 96)
+	RenderLines(fbOIT, cam, set, TechTransparentOIT, opts)
+
+	rmse, err := stats.RMSE(fbSorted, fbOIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-line sorting is approximate (the paper's point); OIT is
+	// exact, so small differences are expected — but the images must
+	// agree closely.
+	if rmse > 0.05 {
+		t.Errorf("OIT and sorted transparency diverge: RMSE %.4f", rmse)
+	}
+	if fbOIT.CoveredPixels(0.01) == 0 {
+		t.Error("OIT variant rendered nothing")
+	}
+}
+
+func TestOITTechniqueInAllTechniques(t *testing.T) {
+	all := AllTechniques()
+	if len(all) != len(Techniques())+1 {
+		t.Fatalf("AllTechniques has %d entries", len(all))
+	}
+	if all[len(all)-1] != TechTransparentOIT {
+		t.Error("OIT technique missing from AllTechniques")
+	}
+	if TechTransparentOIT.String() != "transparent-oit" {
+		t.Errorf("name = %q", TechTransparentOIT.String())
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats provides the image and distribution metrics the
+// experiments use to compare renderings quantitatively: RMSE/PSNR
+// between frames, gradient energy (a proxy for the fine detail the
+// paper's Fig 1 claims the hybrid rendering preserves), and
+// luminance-coverage measures.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/render"
+)
+
+// RMSE returns the root-mean-square difference between the luminance
+// of two equal-size framebuffers.
+func RMSE(a, b *render.Framebuffer) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("stats: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sum float64
+	for y := 0; y < a.H; y++ {
+		for x := 0; x < a.W; x++ {
+			d := a.Luminance(x, y) - b.Luminance(x, y)
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum / float64(a.W*a.H)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio (dB) between two frames,
+// treating luminance 1.0 as peak. Identical frames return +Inf.
+func PSNR(a, b *render.Framebuffer) (float64, error) {
+	rmse, err := RMSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if rmse == 0 {
+		return math.Inf(1), nil
+	}
+	return 20 * math.Log10(1/rmse), nil
+}
+
+// GradientEnergy returns the mean magnitude of the luminance gradient
+// over the frame — a standard proxy for image detail. The Fig 1
+// comparison uses it: the hybrid rendering "more clearly resolves"
+// fine stratifications, which shows up as higher gradient energy in
+// the halo region than the pure volume rendering at any resolution.
+func GradientEnergy(fb *render.Framebuffer) float64 {
+	var sum float64
+	n := 0
+	for y := 0; y < fb.H-1; y++ {
+		for x := 0; x < fb.W-1; x++ {
+			l := fb.Luminance(x, y)
+			gx := fb.Luminance(x+1, y) - l
+			gy := fb.Luminance(x, y+1) - l
+			sum += math.Sqrt(gx*gx + gy*gy)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// LuminanceHistogram bins pixel luminance into bins over [0, 1].
+func LuminanceHistogram(fb *render.Framebuffer, bins int) []int {
+	h := make([]int, bins)
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			l := fb.Luminance(x, y)
+			b := int(l * float64(bins))
+			if b < 0 {
+				b = 0
+			}
+			if b >= bins {
+				b = bins - 1
+			}
+			h[b]++
+		}
+	}
+	return h
+}
+
+// DimDetailCoverage counts pixels whose luminance falls in (lo, hi] —
+// the faint-structure band where the beam halo lives. Volume
+// renderings with limited dynamic range push these pixels to zero; the
+// hybrid point rendering keeps them lit.
+func DimDetailCoverage(fb *render.Framebuffer, lo, hi float64) int {
+	n := 0
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			l := fb.Luminance(x, y)
+			if l > lo && l <= hi {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/render"
+)
+
+func frame(t *testing.T, w, h int, lum float64) *render.Framebuffer {
+	t.Helper()
+	fb, err := render.NewFramebuffer(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Clear(hybrid.RGBA{R: lum, G: lum, B: lum, A: 1})
+	return fb
+}
+
+func TestRMSEIdentical(t *testing.T) {
+	a := frame(t, 8, 8, 0.5)
+	b := frame(t, 8, 8, 0.5)
+	got, err := RMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("RMSE of identical frames = %v", got)
+	}
+}
+
+func TestRMSEUniformDifference(t *testing.T) {
+	a := frame(t, 8, 8, 0.75)
+	b := frame(t, 8, 8, 0.25)
+	got, err := RMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("RMSE = %v, want 0.5", got)
+	}
+}
+
+func TestRMSESizeMismatch(t *testing.T) {
+	a := frame(t, 8, 8, 0)
+	b := frame(t, 4, 8, 0)
+	if _, err := RMSE(a, b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := frame(t, 8, 8, 0.5)
+	b := frame(t, 8, 8, 0.5)
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Errorf("PSNR of identical frames = %v, want +Inf", p)
+	}
+	c := frame(t, 8, 8, 0.4)
+	p2, err := PSNR(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20 * math.Log10(1/0.1)
+	if math.Abs(p2-want) > 1e-6 {
+		t.Errorf("PSNR = %v, want %v", p2, want)
+	}
+}
+
+func TestGradientEnergyFlatVsEdge(t *testing.T) {
+	flat := frame(t, 16, 16, 0.5)
+	if g := GradientEnergy(flat); g != 0 {
+		t.Errorf("flat frame gradient energy = %v", g)
+	}
+	// Half-white, half-black: one column of strong edges.
+	edged := frame(t, 16, 16, 0)
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			i := (y*16 + x) * 4
+			edged.Color[i], edged.Color[i+1], edged.Color[i+2] = 1, 1, 1
+		}
+	}
+	if g := GradientEnergy(edged); g <= 0 {
+		t.Errorf("edged frame gradient energy = %v, want > 0", g)
+	}
+}
+
+func TestLuminanceHistogram(t *testing.T) {
+	fb := frame(t, 4, 4, 0.5)
+	h := LuminanceHistogram(fb, 10)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 16 {
+		t.Errorf("histogram total %d, want 16", total)
+	}
+	if h[5] != 16 {
+		t.Errorf("bin 5 = %d, want all 16 pixels", h[5])
+	}
+}
+
+func TestDimDetailCoverage(t *testing.T) {
+	fb := frame(t, 4, 4, 0)
+	// Two pixels in the dim band, one bright.
+	set := func(x, y int, l float64) {
+		i := (y*4 + x) * 4
+		fb.Color[i], fb.Color[i+1], fb.Color[i+2] = float32(l), float32(l), float32(l)
+	}
+	set(0, 0, 0.05)
+	set(1, 1, 0.08)
+	set(2, 2, 0.9)
+	if got := DimDetailCoverage(fb, 0.01, 0.2); got != 2 {
+		t.Errorf("dim coverage = %d, want 2", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty input not handled")
+	}
+}

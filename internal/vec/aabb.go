@@ -1,0 +1,173 @@
+package vec
+
+import "math"
+
+// AABB is an axis-aligned bounding box, the basic spatial-subdivision
+// primitive of the particle octree and of the hexahedral cavity meshes.
+// An AABB with Min > Max on any axis is "empty"; Empty() constructs the
+// canonical empty box, which absorbs points and boxes via Extend*.
+type AABB struct {
+	Min, Max V3
+}
+
+// Empty returns the canonical empty box (+Inf mins, -Inf maxes).
+func Empty() AABB {
+	inf := math.Inf(1)
+	return AABB{V3{inf, inf, inf}, V3{-inf, -inf, -inf}}
+}
+
+// Box returns the AABB spanning min..max.
+func Box(min, max V3) AABB { return AABB{min, max} }
+
+// IsEmpty reports whether the box contains no points.
+func (b AABB) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// ExtendPoint returns the smallest box containing both b and p.
+func (b AABB) ExtendPoint(p V3) AABB {
+	return AABB{b.Min.Min(p), b.Max.Max(p)}
+}
+
+// ExtendBox returns the smallest box containing both b and o.
+func (b AABB) ExtendBox(o AABB) AABB {
+	return AABB{b.Min.Min(o.Min), b.Max.Max(o.Max)}
+}
+
+// Contains reports whether p lies inside b (inclusive of faces).
+func (b AABB) Contains(p V3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Center returns the centroid of b.
+func (b AABB) Center() V3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the per-axis extents of b.
+func (b AABB) Size() V3 { return b.Max.Sub(b.Min) }
+
+// Volume returns the volume of b, or 0 for an empty box.
+func (b AABB) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// Diagonal returns the length of the main diagonal.
+func (b AABB) Diagonal() float64 { return b.Size().Len() }
+
+// Octant returns the i-th (0..7) child box of the uniform octree split
+// of b. Bit 0 selects the upper X half, bit 1 the upper Y half, bit 2
+// the upper Z half — the same child indexing used by the octree
+// partitioner so that child boxes can be derived without storage.
+func (b AABB) Octant(i int) AABB {
+	c := b.Center()
+	child := b
+	if i&1 != 0 {
+		child.Min.X = c.X
+	} else {
+		child.Max.X = c.X
+	}
+	if i&2 != 0 {
+		child.Min.Y = c.Y
+	} else {
+		child.Max.Y = c.Y
+	}
+	if i&4 != 0 {
+		child.Min.Z = c.Z
+	} else {
+		child.Max.Z = c.Z
+	}
+	return child
+}
+
+// OctantIndex returns which of the eight child octants of b contains p,
+// using the same bit convention as Octant. Points exactly on the
+// splitting plane go to the upper half, which keeps insertion
+// deterministic.
+func (b AABB) OctantIndex(p V3) int {
+	c := b.Center()
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	if p.Z >= c.Z {
+		i |= 4
+	}
+	return i
+}
+
+// Intersects reports whether b and o overlap (inclusive).
+func (b AABB) Intersects(o AABB) bool {
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// IntersectRay intersects the ray origin + t*dir with b and returns the
+// parametric entry and exit distances. It reports false when the ray
+// misses the box. Entry may be negative when the origin is inside.
+func (b AABB) IntersectRay(origin, dir V3) (tEnter, tExit float64, hit bool) {
+	tEnter = math.Inf(-1)
+	tExit = math.Inf(1)
+	for axis := 0; axis < 3; axis++ {
+		o := origin.Component(axis)
+		d := dir.Component(axis)
+		lo := b.Min.Component(axis)
+		hi := b.Max.Component(axis)
+		if d == 0 {
+			if o < lo || o > hi {
+				return 0, 0, false
+			}
+			continue
+		}
+		t0 := (lo - o) / d
+		t1 := (hi - o) / d
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tEnter {
+			tEnter = t0
+		}
+		if t1 < tExit {
+			tExit = t1
+		}
+		if tEnter > tExit {
+			return 0, 0, false
+		}
+	}
+	return tEnter, tExit, true
+}
+
+// Normalize maps p from box coordinates to [0,1]^3. Degenerate axes map
+// to 0.5 so flattened boxes (e.g. planar phase plots) stay renderable.
+func (b AABB) Normalize(p V3) V3 {
+	s := b.Size()
+	n := V3{0.5, 0.5, 0.5}
+	if s.X > 0 {
+		n.X = (p.X - b.Min.X) / s.X
+	}
+	if s.Y > 0 {
+		n.Y = (p.Y - b.Min.Y) / s.Y
+	}
+	if s.Z > 0 {
+		n.Z = (p.Z - b.Min.Z) / s.Z
+	}
+	return n
+}
+
+// Denormalize maps p from [0,1]^3 back to box coordinates.
+func (b AABB) Denormalize(p V3) V3 {
+	s := b.Size()
+	return V3{
+		b.Min.X + p.X*s.X,
+		b.Min.Y + p.Y*s.Y,
+		b.Min.Z + p.Z*s.Z,
+	}
+}

@@ -1,0 +1,196 @@
+// Package viewer implements the frame-management layer of the paper's
+// desktop viewing program (§2.5): hybrid frames are held in a
+// byte-budgeted memory cache so that stepping through time steps with
+// the keyboard redisplays cached frames "instantaneously" while evicted
+// frames reload from disk (~10 s per 100 MB in the paper's setting),
+// and a prefetcher warms the frames ahead of the current one in the
+// stepping direction.
+package viewer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/hybrid"
+)
+
+// Loader fetches a frame by index — from disk, or over the network in
+// the remote setting.
+type Loader func(index int) (*hybrid.Representation, error)
+
+// Cache is a byte-budgeted LRU cache of hybrid frames. It is safe for
+// concurrent use (the prefetcher loads from a background goroutine).
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	loader   Loader
+	nFrames  int
+	entries  map[int]*list.Element
+	eviction *list.List // front = most recently used
+
+	// Stats for the §2.5 behavior tests: cache hits display instantly,
+	// misses pay the load.
+	Hits   int64
+	Misses int64
+}
+
+type cacheEntry struct {
+	index int
+	rep   *hybrid.Representation
+	size  int64
+}
+
+// NewCache builds a cache over nFrames frames with the given byte
+// budget.
+func NewCache(nFrames int, budgetBytes int64, loader Loader) (*Cache, error) {
+	if nFrames < 1 {
+		return nil, fmt.Errorf("viewer: need at least one frame, got %d", nFrames)
+	}
+	if budgetBytes < 1 {
+		return nil, fmt.Errorf("viewer: byte budget %d must be positive", budgetBytes)
+	}
+	if loader == nil {
+		return nil, fmt.Errorf("viewer: nil loader")
+	}
+	return &Cache{
+		budget:   budgetBytes,
+		loader:   loader,
+		nFrames:  nFrames,
+		entries:  make(map[int]*list.Element),
+		eviction: list.New(),
+	}, nil
+}
+
+// NumFrames returns the frame count.
+func (c *Cache) NumFrames() int { return c.nFrames }
+
+// UsedBytes returns the current cache occupancy.
+func (c *Cache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Cached reports whether frame i is resident without touching LRU
+// order.
+func (c *Cache) Cached(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[i]
+	return ok
+}
+
+// Get returns frame i, loading it on a miss and evicting
+// least-recently-used frames to stay within budget. A frame larger
+// than the whole budget is returned but not retained.
+func (c *Cache) Get(i int) (*hybrid.Representation, error) {
+	if i < 0 || i >= c.nFrames {
+		return nil, fmt.Errorf("viewer: frame %d out of range [0,%d)", i, c.nFrames)
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[i]; ok {
+		c.eviction.MoveToFront(el)
+		c.Hits++
+		rep := el.Value.(*cacheEntry).rep
+		c.mu.Unlock()
+		return rep, nil
+	}
+	c.Misses++
+	c.mu.Unlock()
+
+	// Load outside the lock so concurrent gets of different frames
+	// overlap (the prefetcher relies on this).
+	rep, err := c.loader(i)
+	if err != nil {
+		return nil, fmt.Errorf("viewer: loading frame %d: %w", i, err)
+	}
+	size := rep.SizeBytes()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[i]; ok {
+		// Someone else loaded it meanwhile; use theirs.
+		c.eviction.MoveToFront(el)
+		return el.Value.(*cacheEntry).rep, nil
+	}
+	if size > c.budget {
+		return rep, nil // too large to retain
+	}
+	for c.used+size > c.budget && c.eviction.Len() > 0 {
+		back := c.eviction.Back()
+		entry := back.Value.(*cacheEntry)
+		c.eviction.Remove(back)
+		delete(c.entries, entry.index)
+		c.used -= entry.size
+	}
+	el := c.eviction.PushFront(&cacheEntry{index: i, rep: rep, size: size})
+	c.entries[i] = el
+	c.used += size
+	return rep, nil
+}
+
+// Player steps through frames like the paper's viewer ("the previewing
+// program allows the user to step through frames using the keyboard"),
+// prefetching ahead in the stepping direction.
+type Player struct {
+	cache    *Cache
+	current  int
+	dir      int // +1 forward, -1 backward
+	prefetch int // how many frames to warm ahead
+
+	wg sync.WaitGroup
+}
+
+// NewPlayer wraps a cache with stepping state. prefetch <= 0 disables
+// prefetching.
+func NewPlayer(cache *Cache, prefetch int) *Player {
+	return &Player{cache: cache, dir: 1, prefetch: prefetch}
+}
+
+// Current returns the current frame index.
+func (p *Player) Current() int { return p.current }
+
+// Frame returns the current frame, loading if needed, and warms the
+// frames ahead in the background.
+func (p *Player) Frame() (*hybrid.Representation, error) {
+	rep, err := p.cache.Get(p.current)
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; k <= p.prefetch; k++ {
+		next := p.current + k*p.dir
+		if next < 0 || next >= p.cache.NumFrames() || p.cache.Cached(next) {
+			continue
+		}
+		p.wg.Add(1)
+		go func(i int) {
+			defer p.wg.Done()
+			_, _ = p.cache.Get(i) // best-effort warm-up
+		}(next)
+	}
+	return rep, nil
+}
+
+// Step advances by delta frames (clamped) and records the stepping
+// direction for the prefetcher. It returns the new current frame.
+func (p *Player) Step(delta int) (*hybrid.Representation, error) {
+	if delta > 0 {
+		p.dir = 1
+	} else if delta < 0 {
+		p.dir = -1
+	}
+	next := p.current + delta
+	if next < 0 {
+		next = 0
+	}
+	if next >= p.cache.NumFrames() {
+		next = p.cache.NumFrames() - 1
+	}
+	p.current = next
+	return p.Frame()
+}
+
+// Wait blocks until outstanding prefetches complete (used by tests).
+func (p *Player) Wait() { p.wg.Wait() }

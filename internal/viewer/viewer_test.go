@@ -1,0 +1,231 @@
+package viewer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// makeFrames builds n small hybrid frames of roughly equal size.
+func makeFrames(t *testing.T, n int) []*hybrid.Representation {
+	t.Helper()
+	frames := make([]*hybrid.Representation, n)
+	for f := 0; f < n; f++ {
+		rng := rand.New(rand.NewSource(int64(f + 1)))
+		pts := make([]vec.V3, 2000)
+		for i := range pts {
+			pts[i] = vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		}
+		tree, err := octree.Build(pts, octree.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := hybrid.Extract(tree, hybrid.ExtractConfig{VolumeRes: 8, Budget: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[f] = rep
+	}
+	return frames
+}
+
+func countingLoader(frames []*hybrid.Representation, loads *int64) Loader {
+	return func(i int) (*hybrid.Representation, error) {
+		if i < 0 || i >= len(frames) {
+			return nil, fmt.Errorf("no frame %d", i)
+		}
+		atomic.AddInt64(loads, 1)
+		return frames[i], nil
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	ld := func(int) (*hybrid.Representation, error) { return nil, nil }
+	if _, err := NewCache(0, 100, ld); err == nil {
+		t.Error("accepted zero frames")
+	}
+	if _, err := NewCache(5, 0, ld); err == nil {
+		t.Error("accepted zero budget")
+	}
+	if _, err := NewCache(5, 100, nil); err == nil {
+		t.Error("accepted nil loader")
+	}
+}
+
+func TestCacheHitAvoidsReload(t *testing.T) {
+	frames := makeFrames(t, 3)
+	var loads int64
+	c, err := NewCache(3, 1<<30, countingLoader(frames, &loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loads != 1 {
+		t.Errorf("frame loaded %d times, want 1", loads)
+	}
+	if c.Hits != 9 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 9/1", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	frames := makeFrames(t, 4)
+	size := frames[0].SizeBytes()
+	var loads int64
+	// Budget for roughly two frames.
+	c, err := NewCache(4, 2*size+size/2, countingLoader(frames, &loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet := func(i int) {
+		t.Helper()
+		if _, err := c.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(0)
+	mustGet(1)
+	mustGet(2) // evicts 0
+	if c.Cached(0) {
+		t.Error("frame 0 not evicted")
+	}
+	if !c.Cached(1) || !c.Cached(2) {
+		t.Error("recently used frames evicted")
+	}
+	// Touch 1 so 2 becomes LRU; loading 3 must now evict 2.
+	mustGet(1)
+	mustGet(3)
+	if c.Cached(2) {
+		t.Error("LRU order not respected")
+	}
+	if !c.Cached(1) {
+		t.Error("recently touched frame evicted")
+	}
+	if c.UsedBytes() > 2*size+size/2 {
+		t.Errorf("cache over budget: %d", c.UsedBytes())
+	}
+}
+
+func TestCacheOversizedFrameNotRetained(t *testing.T) {
+	frames := makeFrames(t, 1)
+	var loads int64
+	c, err := NewCache(1, 10, countingLoader(frames, &loads)) // tiny budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("oversized frame not returned")
+	}
+	if c.Cached(0) {
+		t.Error("oversized frame retained")
+	}
+}
+
+func TestCacheRangeCheck(t *testing.T) {
+	frames := makeFrames(t, 2)
+	var loads int64
+	c, err := NewCache(2, 1<<30, countingLoader(frames, &loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := c.Get(2); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestPlayerSteppingAndClamping(t *testing.T) {
+	frames := makeFrames(t, 5)
+	var loads int64
+	c, err := NewCache(5, 1<<30, countingLoader(frames, &loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlayer(c, 0)
+	if _, err := p.Frame(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Current() != 2 {
+		t.Errorf("current = %d, want 2", p.Current())
+	}
+	if _, err := p.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if p.Current() != 4 {
+		t.Errorf("clamped current = %d, want 4", p.Current())
+	}
+	if _, err := p.Step(-100); err != nil {
+		t.Fatal(err)
+	}
+	if p.Current() != 0 {
+		t.Errorf("clamped current = %d, want 0", p.Current())
+	}
+}
+
+func TestPlayerPrefetchWarmsAhead(t *testing.T) {
+	frames := makeFrames(t, 6)
+	var loads int64
+	c, err := NewCache(6, 1<<30, countingLoader(frames, &loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlayer(c, 2)
+	if _, err := p.Frame(); err != nil { // current 0, warms 1 and 2
+		t.Fatal(err)
+	}
+	p.Wait()
+	if !c.Cached(1) || !c.Cached(2) {
+		t.Error("prefetch did not warm the next frames")
+	}
+	// Stepping onto a prefetched frame is a cache hit.
+	hitsBefore := c.Hits
+	if _, err := p.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if c.Hits <= hitsBefore {
+		t.Error("stepping onto prefetched frame missed the cache")
+	}
+}
+
+func TestPlayerPrefetchFollowsDirection(t *testing.T) {
+	frames := makeFrames(t, 8)
+	var loads int64
+	c, err := NewCache(8, 1<<30, countingLoader(frames, &loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlayer(c, 1)
+	if _, err := p.Step(4); err != nil { // at 4, forward: warms 5
+		t.Fatal(err)
+	}
+	p.Wait()
+	if !c.Cached(5) {
+		t.Error("forward prefetch missing")
+	}
+	if _, err := p.Step(-1); err != nil { // at 3, backward: warms 2
+		t.Fatal(err)
+	}
+	p.Wait()
+	if !c.Cached(2) {
+		t.Error("backward prefetch missing")
+	}
+}

@@ -5,12 +5,17 @@
 // frames it steps through them like the viewer's keyboard animation,
 // timing each frame load as in §2.5.
 //
+// Frames stream through the stage engine: frame N+1 loads while frame
+// N renders and frame N-1 encodes to PNG, with -workers rendering that
+// many frames concurrently into a recycled framebuffer pool.
+//
 // Usage:
 //
 //	hybridview -out beam.png -size 512 -view 0.4,0.3,1 frame5.achy frame6.achy
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/pario"
+	"repro/internal/pipeline"
 	"repro/internal/render"
 	"repro/internal/vec"
 	"repro/internal/volren"
@@ -44,6 +50,18 @@ func parseVec(s string) (vec.V3, error) {
 	return vec.New(v[0], v[1], v[2]), nil
 }
 
+// viewJob carries one hybrid frame through load → render → encode.
+type viewJob struct {
+	index      int
+	path       string
+	rep        *hybrid.Representation
+	loadTime   time.Duration
+	renderTime time.Duration
+	fb         *render.Framebuffer
+	points     int64
+	samples    int64
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hybridview: ")
@@ -55,6 +73,7 @@ func main() {
 		opaque    = flag.Bool("opaque", false, "draw points fully opaque (Fig 4 style)")
 		attr      = flag.String("attr", "", "dynamic point property: 'temperature' (needs -frame)")
 		rawFrame  = flag.String("frame", "", "raw particle frame (.acpf) for -attr lookups")
+		workers   = flag.Int("workers", 2, "frames rendered concurrently")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -83,49 +102,77 @@ func main() {
 		}
 	}
 
-	for fi, path := range flag.Args() {
-		loadStart := time.Now()
-		rep, err := hybrid.ReadFile(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		loadTime := time.Since(loadStart)
-
-		tf, err := core.DefaultTF(rep)
-		if err != nil {
-			log.Fatal(err)
-		}
+	paths := flag.Args()
+	fbs := pipeline.NewFreeList(func() *render.Framebuffer {
 		fb, err := render.NewFramebuffer(*size, *size)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cam, err := render.LookAtBounds(rep.Bounds, dir, math.Pi/3, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		renderStart := time.Now()
-		var rast *render.Rasterizer
-		var vr *volren.Renderer
-		if attrFn != nil {
-			rast, vr, err = volren.RenderHybridDynamic(rep, tf, fb, cam, *pointSize, attrFn, hybrid.HeatMap())
-		} else {
-			rast, vr, err = volren.RenderHybrid(rep, tf, fb, cam, *pointSize, *opaque)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		renderTime := time.Since(renderStart)
+		return fb
+	})
 
-		dst := *out
-		if flag.NArg() > 1 {
-			dst = strings.TrimSuffix(*out, ".png") + fmt.Sprintf("_%04d.png", fi)
+	pl := pipeline.New(context.Background())
+	// Stage 1: load hybrid frames (I/O, serial, timed per §2.5).
+	loaded := pipeline.Source(pl, 2, func(_ context.Context, emit func(viewJob) bool) error {
+		for i, path := range paths {
+			start := time.Now()
+			rep, err := hybrid.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if !emit(viewJob{index: i, path: path, rep: rep, loadTime: time.Since(start)}) {
+				return nil
+			}
 		}
-		if err := fb.WritePNG(dst); err != nil {
-			log.Fatal(err)
+		return nil
+	})
+	// Stage 2: render into recycled framebuffers.
+	rendered := pipeline.Map(pl, loaded, pipeline.StageConfig{Name: "render", Workers: *workers, Buf: 2},
+		func(_ context.Context, j viewJob) (viewJob, error) {
+			tf, err := core.DefaultTF(j.rep)
+			if err != nil {
+				return j, err
+			}
+			cam, err := render.LookAtBounds(j.rep.Bounds, dir, math.Pi/3, 1)
+			if err != nil {
+				return j, err
+			}
+			fb := fbs.Get()
+			fb.Clear(hybrid.RGBA{})
+			start := time.Now()
+			var rast *render.Rasterizer
+			var vr *volren.Renderer
+			if attrFn != nil {
+				rast, vr, err = volren.RenderHybridDynamic(j.rep, tf, fb, cam, *pointSize, attrFn, hybrid.HeatMap())
+			} else {
+				rast, vr, err = volren.RenderHybrid(j.rep, tf, fb, cam, *pointSize, *opaque)
+			}
+			if err != nil {
+				fbs.Put(fb)
+				return j, err
+			}
+			j.renderTime = time.Since(start)
+			j.fb, j.points, j.samples = fb, rast.PointCount, vr.SampleCount
+			return j, nil
+		})
+	// Stage 3: encode PNGs in frame order, recycling framebuffers.
+	pipeline.Sink(pl, rendered, "encode", func(_ context.Context, j viewJob) error {
+		dst := *out
+		if len(paths) > 1 {
+			dst = strings.TrimSuffix(*out, ".png") + fmt.Sprintf("_%04d.png", j.index)
+		}
+		err := j.fb.WritePNG(dst)
+		fbs.Put(j.fb)
+		if err != nil {
+			return err
 		}
 		fmt.Printf("%s: load %v (%.1f MB/s), render %v (%d points, %d volume samples) -> %s\n",
-			path, loadTime,
-			float64(rep.SizeBytes())/loadTime.Seconds()/1e6,
-			renderTime, rast.PointCount, vr.SampleCount, dst)
+			j.path, j.loadTime,
+			float64(j.rep.SizeBytes())/j.loadTime.Seconds()/1e6,
+			j.renderTime, j.points, j.samples, dst)
+		return nil
+	})
+	if err := pl.Wait(); err != nil {
+		log.Fatal(err)
 	}
 }

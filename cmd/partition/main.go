@@ -1,17 +1,25 @@
 // Command partition is the paper's "partitioning program" (§2.3): it
-// reads a raw particle frame, organizes the selected 3-D plot of the
+// reads raw particle frames, organizes the selected 3-D plot of the
 // particles into an octree bounded by a maximal subdivision level, and
-// writes the result to disk in two parts — the octree nodes and the
+// writes each result to disk in two parts — the octree nodes and the
 // density-sorted particle groups.
+//
+// Frames stream through the core stage engine: file reads, octree
+// builds and tree writes overlap across successive frames, and
+// -workers partitions that many frames concurrently.
 //
 // Usage:
 //
 //	partition -in beam_0005.acpf -plot x,px,y -maxlevel 8 -out frame5_xpxy
 //
-// writes frame5_xpxy.oct and frame5_xpxy.pts.
+// writes frame5_xpxy.oct and frame5_xpxy.pts. With several inputs the
+// output base gets _NNNN appended per frame:
+//
+//	partition -plot x,px,y -out run_xpxy beam_*.acpf
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,9 +27,9 @@ import (
 	"time"
 
 	"repro/internal/beam"
+	"repro/internal/core"
 	"repro/internal/octree"
 	"repro/internal/pario"
-	"repro/internal/vec"
 )
 
 func parsePlot(s string) ([3]beam.Axis, error) {
@@ -44,47 +52,56 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("partition: ")
 	var (
-		in       = flag.String("in", "", "input particle frame (.acpf)")
+		in       = flag.String("in", "", "input particle frame (.acpf); more frames as positional args")
 		plot     = flag.String("plot", "x,y,z", "plot type: three of x,y,z,px,py,pz")
 		maxLevel = flag.Int("maxlevel", 8, "maximal octree subdivision level")
 		leafCap  = flag.Int("leafcap", 64, "points per leaf before subdividing")
 		out      = flag.String("out", "", "output base path (writes .oct and .pts)")
+		workers  = flag.Int("workers", 2, "frames partitioned concurrently")
 	)
 	flag.Parse()
-	if *in == "" || *out == "" {
-		log.Fatal("-in and -out are required")
+	inputs := flag.Args()
+	if *in != "" {
+		inputs = append([]string{*in}, inputs...)
+	}
+	if len(inputs) == 0 || *out == "" {
+		log.Fatal("-out and at least one input frame (-in or positional) are required")
 	}
 	axes, err := parsePlot(*plot)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	frame, err := pario.ReadFrameFile(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("read %d particles (step %d)\n", frame.E.Len(), frame.Step)
-
-	pts := make([]vec.V3, frame.E.Len())
-	for i := range pts {
-		pts[i] = frame.E.Point3(i, axes)
-	}
 	cfg := octree.DefaultConfig()
 	cfg.MaxLevel = *maxLevel
 	cfg.LeafCap = *leafCap
 
+	pp := &core.ParticlePipeline{Tree: cfg, Axes: axes}
 	start := time.Now()
-	tree, err := octree.Build(pts, cfg)
-	if err != nil {
+	s := pp.StreamFrames(context.Background(), core.FrameFileSource(inputs...), core.StreamOptions{
+		SkipExtract:      true,
+		PartitionWorkers: *workers,
+		Buffer:           2,
+	})
+	var total int64
+	for r := range s.Out {
+		base := *out
+		if len(inputs) > 1 {
+			base = fmt.Sprintf("%s_%04d", *out, r.Index)
+		}
+		if err := pario.WriteTreeFiles(base, r.Tree); err != nil {
+			s.Cancel()
+			s.Wait()
+			log.Fatal(err)
+		}
+		total += int64(len(r.Tree.Points))
+		fmt.Printf("%s: %d particles -> %d nodes, %d leaves, depth %d -> %s.{oct,pts}\n",
+			inputs[r.Index], len(r.Tree.Points), len(r.Tree.Nodes),
+			r.Tree.NumLeaves(), r.Tree.MaxDepth(), base)
+	}
+	if err := s.Wait(); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("partitioned: %d nodes, %d leaves, depth %d, in %v (%.1f Mpts/s)\n",
-		len(tree.Nodes), tree.NumLeaves(), tree.MaxDepth(), elapsed,
-		float64(len(pts))/elapsed.Seconds()/1e6)
-
-	if err := pario.WriteTreeFiles(*out, tree); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s.oct and %s.pts\n", *out, *out)
+	fmt.Printf("partitioned %d frames (%d particles) in %v (%.1f Mpts/s)\n",
+		len(inputs), total, elapsed, float64(total)/elapsed.Seconds()/1e6)
 }

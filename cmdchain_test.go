@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/beam"
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/pario"
+)
+
+// TestCmdChainSmoke exercises the file chain the commands implement —
+// beamsim writes .acpf frames, partition streams them into .oct/.pts
+// pairs, extract streams those into .achy hybrids — entirely through
+// pario, asserting the CRC-validated round-trip at every hop: every
+// file read back must decode to exactly the data written, and a
+// corrupted file must be rejected by its checksum.
+func TestCmdChainSmoke(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3000
+
+	// beamsim: simulate and write raw frames.
+	sim, err := beam.NewSim(beam.DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var framePaths []string
+	for i := 0; i < 3; i++ {
+		sim.RunPeriods(2)
+		f := sim.Snapshot()
+		path := filepath.Join(dir, fmt.Sprintf("beam_%04d.acpf", i))
+		if err := pario.WriteFrameFile(path, f); err != nil {
+			t.Fatal(err)
+		}
+		// Round trip: the frame must come back bit-exact.
+		got, err := pario.ReadFrameFile(path)
+		if err != nil {
+			t.Fatalf("frame %d failed CRC-validated read: %v", i, err)
+		}
+		if got.Step != f.Step || got.S != f.S || got.E.Len() != f.E.Len() {
+			t.Fatalf("frame %d header mismatch after round trip", i)
+		}
+		for j := 0; j < f.E.Len(); j += 97 {
+			if got.E.X[j] != f.E.X[j] || got.E.Pz[j] != f.E.Pz[j] {
+				t.Fatalf("frame %d particle %d mismatch after round trip", i, j)
+			}
+		}
+		framePaths = append(framePaths, path)
+	}
+
+	// partition: stream the frame files into two-part tree files, as
+	// cmd/partition does.
+	pp := core.NewParticlePipeline(n)
+	pp.Extract.VolumeRes = 16
+	s := pp.StreamFrames(context.Background(), core.FrameFileSource(framePaths...), core.StreamOptions{
+		SkipExtract:      true,
+		PartitionWorkers: 2,
+	})
+	var treeBases []string
+	for r := range s.Out {
+		base := filepath.Join(dir, fmt.Sprintf("part_%04d", r.Index))
+		if err := pario.WriteTreeFiles(base, r.Tree); err != nil {
+			t.Fatal(err)
+		}
+		back, err := pario.ReadTreeFiles(base)
+		if err != nil {
+			t.Fatalf("tree %d failed CRC-validated read: %v", r.Index, err)
+		}
+		if len(back.Points) != len(r.Tree.Points) || back.NumLeaves() != r.Tree.NumLeaves() {
+			t.Fatalf("tree %d shape mismatch after round trip", r.Index)
+		}
+		for j := range back.Points {
+			if back.Points[j] != r.Tree.Points[j] || back.OrigIndex[j] != r.Tree.OrigIndex[j] {
+				t.Fatalf("tree %d point %d mismatch after round trip", r.Index, j)
+			}
+		}
+		treeBases = append(treeBases, base)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(treeBases) != len(framePaths) {
+		t.Fatalf("partitioned %d frames, want %d", len(treeBases), len(framePaths))
+	}
+
+	// extract: trees -> hybrid representations -> .achy files.
+	for i, base := range treeBases {
+		tree, err := pario.ReadTreeFiles(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := hybrid.Extract(tree, hybrid.ExtractConfig{VolumeRes: 16, Budget: n / 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("frame_%04d.achy", i))
+		if err := rep.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		back, err := hybrid.ReadFile(path)
+		if err != nil {
+			t.Fatalf("hybrid %d failed CRC-validated read: %v", i, err)
+		}
+		var a, b bytes.Buffer
+		if err := rep.Write(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("hybrid %d not bit-identical after round trip", i)
+		}
+	}
+
+	// Corruption at any link of the chain must be caught by the CRC.
+	for _, victim := range []string{
+		framePaths[0],
+		treeBases[0] + ".pts",
+		filepath.Join(dir, "frame_0000.achy"),
+	} {
+		data, err := os.ReadFile(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/2] ^= 0x40
+		if err := os.WriteFile(victim, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasSuffix(victim, ".acpf"):
+			_, err = pario.ReadFrameFile(victim)
+		case strings.HasSuffix(victim, ".pts"):
+			_, err = pario.ReadTreeFiles(strings.TrimSuffix(victim, ".pts"))
+		default:
+			_, err = hybrid.ReadFile(victim)
+		}
+		if err == nil {
+			t.Errorf("corrupted %s read back without error", filepath.Base(victim))
+		}
+	}
+}

@@ -1,29 +1,29 @@
 // Beamhalo reproduces the paper's §2 workload end to end: a
 // mismatched intense beam in a quadrupole channel develops a halo over
-// hundreds of lattice periods; frames are partitioned, extracted at a
-// byte budget, and rendered looking down the beam axis like Fig 5,
-// with the four-fold symmetry and halo statistics printed per frame.
-// It also demonstrates the Fig 3 inverse-linked transfer-function
-// editing and the Fig 1 volume-vs-hybrid comparison on the final
-// frame.
+// hundreds of lattice periods; frames stream through the staged
+// engine — frame N+1 simulates while frame N partitions, frame N-1
+// extracts and frame N-2 renders — and are drawn looking down the beam
+// axis like Fig 5, with the four-fold symmetry and halo statistics
+// printed per frame. It also demonstrates the Fig 3 inverse-linked
+// transfer-function editing and the Fig 1 volume-vs-hybrid comparison
+// on the final frame.
 //
 //	go run ./examples/beamhalo
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 
 	"repro/internal/beam"
 	"repro/internal/core"
 	"repro/internal/hybrid"
+	"repro/internal/render"
 	"repro/internal/stats"
 	"repro/internal/vec"
 	"repro/internal/volren"
-
-	"math"
-
-	"repro/internal/render"
 )
 
 func main() {
@@ -42,34 +42,32 @@ func main() {
 	fmt.Printf("matched envelope (%.4f, %.4f), mismatch %.1fx -> halo resonance\n",
 		m.A, m.B, pp.Sim.Mismatch)
 
-	// Fig 5: evolution frames viewed down the beam axis.
+	// Fig 5: evolution frames viewed down the beam axis, streamed
+	// through the frame-overlapped engine.
 	const nFrames = 6
 	fmt.Printf("\n%-8s %-8s %-12s %-12s %-10s\n", "frame", "period", "halo frac", "4-fold sym", "hybrid MB")
+	s := pp.StreamFrames(context.Background(), core.SimSource(sim, nFrames, 8), core.StreamOptions{
+		KeepFrames: true, // per-frame halo statistics need the ensemble
+		Buffer:     2,
+		Render: &core.RenderOptions{
+			Width: 384, Height: 384,
+			ViewDir: vec.New(0, 0, 1),
+		},
+	})
 	var lastRep *hybrid.Representation
-	for f := 0; f < nFrames; f++ {
-		sim.RunPeriods(8)
-		snap := sim.Snapshot()
-		rep, err := pp.ProcessFrame(snap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lastRep = rep
-		halo := beam.FractionBeyondRadius(snap.E, 2.5*(m.A+m.B)/2, 0)
-		sym := beam.FourFoldSymmetry(snap.E)
+	for r := range s.Out {
+		lastRep = r.Rep
+		halo := beam.FractionBeyondRadius(r.Frame.E, 2.5*(m.A+m.B)/2, 0)
+		sym := beam.FourFoldSymmetry(r.Frame.E)
 		fmt.Printf("%-8d %-8d %-12.4f %-12.3f %-10.2f\n",
-			f, (f+1)*8, halo, sym, float64(rep.SizeBytes())/1e6)
-
-		tf, err := core.DefaultTF(rep)
-		if err != nil {
+			r.Index, (r.Index+1)*8, halo, sym, float64(r.Rep.SizeBytes())/1e6)
+		if err := r.FB.WritePNG(fmt.Sprintf("beamhalo_frame%02d.png", r.Index)); err != nil {
 			log.Fatal(err)
 		}
-		fb, _, _, err := core.RenderFrame(rep, tf, 384, 384, vec.New(0, 0, 1))
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := fb.WritePNG(fmt.Sprintf("beamhalo_frame%02d.png", f)); err != nil {
-			log.Fatal(err)
-		}
+		s.RecycleFB(r.FB)
+	}
+	if err := s.Wait(); err != nil {
+		log.Fatal(err)
 	}
 
 	// Fig 3: inverse-linked transfer function editing.

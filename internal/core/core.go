@@ -1,5 +1,6 @@
 // Package core is the public façade of the library: two high-level
-// pipelines covering the paper's two contributions.
+// pipelines covering the paper's two contributions, each available
+// both as one-shot calls and as a concurrent, frame-overlapped stream.
 //
 // ParticlePipeline (§2) — beam-dynamics particle data:
 //
@@ -12,12 +13,31 @@
 //	cavity mesh → FDTD solve → density-proportional field-line
 //	seeding → self-orienting-surface rendering with perceptual cues
 //
+// # Streaming execution
+//
+// The paper's terascale workflow is a chain of separate programs run
+// over hundreds of time-step frames. StreamFrames and StreamSolve
+// express those chains on the internal/pipeline stage engine: each
+// stage runs on its own goroutines connected by bounded channels, so
+// frame N+1 partitions while frame N extracts and frame N-1 renders,
+// and per-stage worker counts add frame-level parallelism within a
+// stage. Output arrives in frame order and — for equal per-stage
+// configurations — is bit-identical to the serial path. The one-shot
+// methods (ProcessFrame) are thin wrappers over a one-frame stream.
+//
+// Frames enter a stream through a FrameSource: live simulation
+// snapshots (SimSource), in-memory frames (FrameSliceSource), or
+// pario frame files (FrameFileSource); the partition/extract/render
+// commands and the time-series benchmarks all drive this same entry
+// point.
+//
 // Every stage is also available directly from its own package for
 // callers that need finer control; the pipelines wire the defaults the
 // experiments use.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -63,9 +83,7 @@ func (p *ParticlePipeline) NewSim() (*beam.Sim, error) { return beam.NewSim(p.Si
 // octree — the paper's partitioning program.
 func (p *ParticlePipeline) Partition(f beam.Frame) (*octree.Tree, error) {
 	pts := make([]vec.V3, f.E.Len())
-	for i := range pts {
-		pts[i] = f.E.Point3(i, p.Axes)
-	}
+	p.project(f.E, pts)
 	return octree.Build(pts, p.Tree)
 }
 
@@ -75,13 +93,22 @@ func (p *ParticlePipeline) Hybrid(t *octree.Tree) (*hybrid.Representation, error
 	return hybrid.Extract(t, p.Extract)
 }
 
-// ProcessFrame runs partition + extraction on one frame.
+// ProcessFrame runs partition + extraction on one frame. It is a thin
+// wrapper over the streaming path: a one-frame stream through the same
+// stage chain StreamFrames runs, so the two cannot drift apart.
 func (p *ParticlePipeline) ProcessFrame(f beam.Frame) (*hybrid.Representation, error) {
-	t, err := p.Partition(f)
-	if err != nil {
+	s := p.StreamFrames(context.Background(), FrameSliceSource(f), StreamOptions{})
+	var rep *hybrid.Representation
+	for r := range s.Out {
+		rep = r.Rep
+	}
+	if err := s.Wait(); err != nil {
 		return nil, err
 	}
-	return p.Hybrid(t)
+	if rep == nil {
+		return nil, fmt.Errorf("core: stream produced no frame")
+	}
+	return rep, nil
 }
 
 // ConvertPlotType re-partitions already-partitioned data under a new
@@ -199,9 +226,8 @@ func (p *FieldPipeline) Mesh() (*hexmesh.Mesh, error) {
 	return p.mesh, nil
 }
 
-// Solve builds the solver (cached) and advances it the given number of
-// drive periods, returning a field snapshot.
-func (p *FieldPipeline) Solve(periods float64) (*emsim.FieldFrame, error) {
+// ensureSim builds (and caches) the mesh and solver.
+func (p *FieldPipeline) ensureSim() (*emsim.Sim, error) {
 	m, err := p.Mesh()
 	if err != nil {
 		return nil, err
@@ -213,8 +239,18 @@ func (p *FieldPipeline) Solve(periods float64) (*emsim.FieldFrame, error) {
 		}
 		p.sim = sim
 	}
-	p.sim.AdvancePeriods(periods)
-	return p.sim.Snapshot(), nil
+	return p.sim, nil
+}
+
+// Solve builds the solver (cached) and advances it the given number of
+// drive periods, returning a field snapshot.
+func (p *FieldPipeline) Solve(periods float64) (*emsim.FieldFrame, error) {
+	sim, err := p.ensureSim()
+	if err != nil {
+		return nil, err
+	}
+	sim.AdvancePeriods(periods)
+	return sim.Snapshot(), nil
 }
 
 // Sim exposes the cached solver (nil before the first Solve).

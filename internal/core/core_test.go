@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/beam"
+	"repro/internal/octree"
 	"repro/internal/sos"
 	"repro/internal/vec"
 )
@@ -167,6 +168,74 @@ func TestConvertPlotType(t *testing.T) {
 	if _, err := ConvertPlotType(spatial, small,
 		[3]beam.Axis{beam.AxisX, beam.AxisY, beam.AxisZ}, p.Tree); err == nil {
 		t.Error("size mismatch accepted")
+	}
+}
+
+// TestConvertPlotTypeRoundTrip re-keys a spatial (x,y,z) tree to the
+// phase plot (x,px,y) and back, verifying at each hop that the
+// OrigIndex composition still points at the original particles — the
+// §2.3 property that lets the unordered source file be discarded.
+func TestConvertPlotTypeRoundTrip(t *testing.T) {
+	p := NewParticlePipeline(3000)
+	sim, err := p.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunPeriods(3)
+	frame := sim.Snapshot()
+
+	spatial, err := p.Partition(frame) // keyed on (x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseAxes := [3]beam.Axis{beam.AxisX, beam.AxisPX, beam.AxisY}
+	phase, err := ConvertPlotType(spatial, frame.E, phaseAxes, p.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ConvertPlotType(phase, frame.E, p.Axes, p.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tree := range []*struct {
+		name string
+		tr   *octree.Tree
+		axes [3]beam.Axis
+	}{
+		{"phase", phase, phaseAxes},
+		{"back", back, p.Axes},
+	} {
+		if err := tree.tr.Validate(); err != nil {
+			t.Fatalf("%s tree invalid: %v", tree.name, err)
+		}
+		// OrigIndex must remain a permutation of the frame…
+		seen := make([]bool, frame.E.Len())
+		for _, oi := range tree.tr.OrigIndex {
+			if oi < 0 || int(oi) >= len(seen) || seen[oi] {
+				t.Fatalf("%s tree OrigIndex is not a permutation (index %d)", tree.name, oi)
+			}
+			seen[oi] = true
+		}
+		// …and every stored point must be its original particle
+		// projected onto the tree's axes.
+		for i, pt := range tree.tr.Points {
+			want := frame.E.Point3(int(tree.tr.OrigIndex[i]), tree.axes)
+			if pt != want {
+				t.Fatalf("%s tree point %d does not match original particle %d",
+					tree.name, i, tree.tr.OrigIndex[i])
+			}
+		}
+	}
+
+	// The round trip must key identically to partitioning from scratch.
+	direct, err := p.Partition(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(direct.Points) || back.NumLeaves() != direct.NumLeaves() {
+		t.Errorf("round-tripped tree shape (%d pts, %d leaves) != direct (%d pts, %d leaves)",
+			len(back.Points), back.NumLeaves(), len(direct.Points), direct.NumLeaves())
 	}
 }
 

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/beam"
+	"repro/internal/emsim"
+	"repro/internal/hybrid"
+	"repro/internal/octree"
+	"repro/internal/pario"
+	"repro/internal/pipeline"
+	"repro/internal/render"
+	"repro/internal/seeding"
+	"repro/internal/sos"
+	"repro/internal/vec"
+	"repro/internal/volren"
+)
+
+// FrameSource feeds particle frames into a stream: simulation
+// snapshots, an in-memory slice, or pario frame files. emit returns
+// false once the stream is cancelled; the source should then stop.
+type FrameSource func(ctx context.Context, emit func(beam.Frame) bool) error
+
+// SimSource captures nFrames snapshots from sim, advancing
+// periodsPerFrame lattice periods before each capture. The simulation
+// steps serially on the source goroutine, so frame N+1 simulates while
+// frame N flows through the downstream stages.
+func SimSource(sim *beam.Sim, nFrames, periodsPerFrame int) FrameSource {
+	return func(ctx context.Context, emit func(beam.Frame) bool) error {
+		for i := 0; i < nFrames; i++ {
+			if ctx.Err() != nil {
+				return nil
+			}
+			sim.RunPeriods(periodsPerFrame)
+			if !emit(sim.Snapshot()) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// FrameSliceSource emits the given frames in order.
+func FrameSliceSource(frames ...beam.Frame) FrameSource {
+	return func(_ context.Context, emit func(beam.Frame) bool) error {
+		for _, f := range frames {
+			if !emit(f) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// FrameFileSource reads pario frame files (.acpf) in order, so file
+// I/O overlaps the compute stages downstream.
+func FrameFileSource(paths ...string) FrameSource {
+	return func(_ context.Context, emit func(beam.Frame) bool) error {
+		for _, path := range paths {
+			f, err := pario.ReadFrameFile(path)
+			if err != nil {
+				return err
+			}
+			if !emit(f) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// RenderOptions appends a render stage to a particle stream.
+type RenderOptions struct {
+	Width, Height int     // framebuffer size (default 512x512)
+	ViewDir       vec.V3  // view direction (default {0.4, 0.3, 1})
+	PointScale    float64 // point splat radius in pixels (default 1.5)
+	Opaque        bool    // draw points fully opaque (Fig 4 style)
+	Workers       int     // concurrent frames in the render stage
+}
+
+func (o RenderOptions) withDefaults() RenderOptions {
+	if o.Width <= 0 {
+		o.Width = 512
+	}
+	if o.Height <= 0 {
+		o.Height = 512
+	}
+	if o.ViewDir == (vec.V3{}) {
+		o.ViewDir = vec.New(0.4, 0.3, 1)
+	}
+	if o.PointScale <= 0 {
+		o.PointScale = 1.5
+	}
+	return o
+}
+
+// StreamOptions sizes the stages of a particle frame stream. The zero
+// value gives a fully serial stream (one frame in flight per stage)
+// that still overlaps stages: with three pipeline stages, three
+// successive frames are in flight at once.
+type StreamOptions struct {
+	PartitionWorkers int // concurrent frames in the partition stage (0 = 1)
+	ExtractWorkers   int // concurrent frames in the extract stage (0 = 1)
+	Buffer           int // inter-stage channel depth in frames (0 = 1)
+
+	KeepFrames  bool // retain each frame's ensemble in its result
+	KeepTrees   bool // retain each frame's octree in its result
+	SkipExtract bool // stop after partition (the paper's partitioning program)
+
+	// Render, when non-nil, appends a render stage. Rendering needs a
+	// hybrid representation, so Render is incompatible with SkipExtract;
+	// StreamFrames rejects the combination.
+	Render *RenderOptions
+}
+
+// StreamResult is the per-frame output of StreamFrames, emitted in
+// frame order regardless of per-stage worker counts.
+type StreamResult struct {
+	Index int
+	Frame beam.Frame             // Frame.E is nil unless KeepFrames
+	Tree  *octree.Tree           // nil unless KeepTrees or SkipExtract
+	Rep   *hybrid.Representation // nil when SkipExtract
+	FB    *render.Framebuffer    // nil unless Render
+	Rast  *render.Rasterizer     // point-pass stats, when rendered
+	VR    *volren.Renderer       // volume-pass stats, when rendered
+}
+
+// ParticleStream is a running particle frame stream: range over Out
+// (frames arrive in order), then Wait; Cancel aborts mid-frame.
+type ParticleStream struct {
+	*pipeline.Stream[StreamResult]
+	fbs *pipeline.FreeList[*render.Framebuffer]
+}
+
+// RecycleFB returns a rendered framebuffer to the stream's free list
+// once the caller is done with it, so long streams reuse a bounded set
+// of framebuffers. Only framebuffers received from this stream's
+// results may be recycled.
+func (s *ParticleStream) RecycleFB(fb *render.Framebuffer) {
+	if fb != nil && s.fbs != nil {
+		s.fbs.Put(fb)
+	}
+}
+
+// StreamFrames runs the §2 chain — simulate → project → octree
+// partition → hybrid extract → (optionally) render — as a staged
+// stream over the frames src emits. Stages are connected by bounded
+// channels, so while frame N+1 is being partitioned, frame N is being
+// extracted and frame N-1 rendered; per-stage worker counts add
+// frame-level parallelism within a stage. Output order always matches
+// frame order and, for equal per-stage configurations, the results are
+// bit-identical to the serial one-shot path.
+func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, opts StreamOptions) *ParticleStream {
+	pl := pipeline.New(ctx)
+	if opts.SkipExtract && opts.Render != nil {
+		pl.Fail(fmt.Errorf("core: StreamOptions.Render requires extraction; unset SkipExtract"))
+		out := make(chan StreamResult)
+		close(out)
+		return &ParticleStream{Stream: pipeline.NewStream(pl, out)}
+	}
+	buf := opts.Buffer
+	if buf < 1 {
+		buf = 1
+	}
+
+	// Source: number the frames as they arrive.
+	frames := pipeline.Source(pl, buf, func(ctx context.Context, emit func(StreamResult) bool) error {
+		i := 0
+		return src(ctx, func(f beam.Frame) bool {
+			r := StreamResult{Index: i, Frame: f}
+			i++
+			return emit(r)
+		})
+	})
+
+	// Partition: project the frame onto the pipeline's axes into a
+	// recycled scratch buffer (octree.Build copies what it keeps), then
+	// build the tree.
+	proj := pipeline.NewSlicePool[vec.V3]()
+	trees := pipeline.Map(pl, frames,
+		pipeline.StageConfig{Name: "partition", Workers: opts.PartitionWorkers, Buf: buf},
+		func(_ context.Context, r StreamResult) (StreamResult, error) {
+			pts := proj.Get(r.Frame.E.Len())
+			p.project(r.Frame.E, *pts)
+			t, err := octree.Build(*pts, p.Tree)
+			proj.Put(pts)
+			if err != nil {
+				return r, fmt.Errorf("frame %d: %w", r.Index, err)
+			}
+			r.Tree = t
+			if !opts.KeepFrames {
+				r.Frame.E = nil
+			}
+			return r, nil
+		})
+
+	out := trees
+	if !opts.SkipExtract {
+		out = pipeline.Map(pl, out,
+			pipeline.StageConfig{Name: "extract", Workers: opts.ExtractWorkers, Buf: buf},
+			func(_ context.Context, r StreamResult) (StreamResult, error) {
+				rep, err := hybrid.Extract(r.Tree, p.Extract)
+				if err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+				r.Rep = rep
+				if !opts.KeepTrees {
+					r.Tree = nil
+				}
+				return r, nil
+			})
+	}
+
+	s := &ParticleStream{}
+	if opts.Render != nil {
+		ro := opts.Render.withDefaults()
+		s.fbs = pipeline.NewFreeList(func() *render.Framebuffer {
+			fb, err := render.NewFramebuffer(ro.Width, ro.Height)
+			if err != nil {
+				panic(err) // dims validated by withDefaults
+			}
+			return fb
+		})
+		aspect := float64(ro.Width) / float64(ro.Height)
+		out = pipeline.Map(pl, out,
+			pipeline.StageConfig{Name: "render", Workers: ro.Workers, Buf: buf},
+			func(_ context.Context, r StreamResult) (StreamResult, error) {
+				tf, err := DefaultTF(r.Rep)
+				if err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+				cam, err := render.LookAtBounds(r.Rep.Bounds, ro.ViewDir, math.Pi/3, aspect)
+				if err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+				fb := s.fbs.Get()
+				fb.Clear(hybrid.RGBA{})
+				rast, vr, err := volren.RenderHybrid(r.Rep, tf, fb, cam, ro.PointScale, ro.Opaque)
+				if err != nil {
+					s.fbs.Put(fb)
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+				r.FB, r.Rast, r.VR = fb, rast, vr
+				return r, nil
+			})
+	}
+	s.Stream = pipeline.NewStream(pl, out)
+	return s
+}
+
+// project fills dst with the ensemble's points projected onto the
+// pipeline's axes. len(dst) must equal e.Len().
+func (p *ParticlePipeline) project(e *beam.Ensemble, dst []vec.V3) {
+	for i := range dst {
+		dst[i] = e.Point3(i, p.Axes)
+	}
+}
+
+// FieldRenderOptions appends a render stage to a field stream.
+type FieldRenderOptions struct {
+	Technique     sos.Technique
+	Width, Height int    // framebuffer size (default 512x512)
+	ViewDir       vec.V3 // view direction (default {0.8, 0.45, 0.9})
+	Workers       int    // concurrent frames in the render stage
+}
+
+func (o FieldRenderOptions) withDefaults() FieldRenderOptions {
+	if o.Width <= 0 {
+		o.Width = 512
+	}
+	if o.Height <= 0 {
+		o.Height = 512
+	}
+	if o.ViewDir == (vec.V3{}) {
+		o.ViewDir = vec.New(0.8, 0.45, 0.9)
+	}
+	return o
+}
+
+// FieldStreamOptions sizes the stages of a field-solve stream.
+type FieldStreamOptions struct {
+	Frames          int     // number of snapshots to emit
+	PeriodsPerFrame float64 // drive periods advanced between snapshots
+	TraceWorkers    int     // concurrent frames in the trace stage (0 = 1)
+	TraceB          bool    // trace magnetic lines alongside electric
+	Buffer          int     // inter-stage channel depth in frames (0 = 1)
+
+	Render *FieldRenderOptions // non-nil appends a render stage
+}
+
+// FieldStreamResult is the per-frame output of StreamSolve.
+type FieldStreamResult struct {
+	Index int
+	Frame *emsim.FieldFrame
+	E     *seeding.Result // electric field lines
+	B     *seeding.Result // magnetic field lines (nil unless TraceB)
+	FB    *render.Framebuffer
+	Stats sos.Stats
+}
+
+// StreamSolve runs the §3 chain — FDTD solve → field-line seeding →
+// (optionally) SOS rendering — as a staged stream: the solver advances
+// frame N+1 on the source goroutine while frame N's lines integrate
+// and frame N-1 renders. The solver itself is stateful and therefore
+// serial; the trace and render stages take per-frame workers.
+func (p *FieldPipeline) StreamSolve(ctx context.Context, opts FieldStreamOptions) (*pipeline.Stream[FieldStreamResult], error) {
+	if opts.Frames <= 0 {
+		return nil, fmt.Errorf("core: field stream needs Frames > 0, got %d", opts.Frames)
+	}
+	if opts.PeriodsPerFrame <= 0 {
+		return nil, fmt.Errorf("core: field stream needs PeriodsPerFrame > 0, got %g", opts.PeriodsPerFrame)
+	}
+	// Build the mesh and solver up front so the concurrent stages only
+	// ever read the cached copies.
+	sim, err := p.ensureSim()
+	if err != nil {
+		return nil, err
+	}
+	buf := opts.Buffer
+	if buf < 1 {
+		buf = 1
+	}
+
+	pl := pipeline.New(ctx)
+	frames := pipeline.Source(pl, buf, func(ctx context.Context, emit func(FieldStreamResult) bool) error {
+		for i := 0; i < opts.Frames; i++ {
+			if ctx.Err() != nil {
+				return nil
+			}
+			sim.AdvancePeriods(opts.PeriodsPerFrame)
+			if !emit(FieldStreamResult{Index: i, Frame: sim.Snapshot()}) {
+				return nil
+			}
+		}
+		return nil
+	})
+
+	lines := pipeline.Map(pl, frames,
+		pipeline.StageConfig{Name: "trace", Workers: opts.TraceWorkers, Buf: buf},
+		func(_ context.Context, r FieldStreamResult) (FieldStreamResult, error) {
+			res, err := p.TraceE(r.Frame)
+			if err != nil {
+				return r, fmt.Errorf("frame %d: %w", r.Index, err)
+			}
+			r.E = res
+			if opts.TraceB {
+				if r.B, err = p.TraceB(r.Frame); err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+			}
+			return r, nil
+		})
+
+	out := lines
+	if opts.Render != nil {
+		ro := opts.Render.withDefaults()
+		out = pipeline.Map(pl, out,
+			pipeline.StageConfig{Name: "render", Workers: ro.Workers, Buf: buf},
+			func(_ context.Context, r FieldStreamResult) (FieldStreamResult, error) {
+				fb, st, err := p.RenderLines(r.E.Lines, ro.Technique, ro.Width, ro.Height, ro.ViewDir)
+				if err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+				r.FB, r.Stats = fb, st
+				return r, nil
+			})
+	}
+	return pipeline.NewStream(pl, out), nil
+}

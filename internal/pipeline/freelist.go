@@ -1,0 +1,58 @@
+package pipeline
+
+import "sync"
+
+// FreeList is a typed free list over sync.Pool for the per-frame
+// scratch buffers of a stream (projection point slices, framebuffers,
+// density grids). A stream allocates at most frames-in-flight buffers
+// and recycles them for the rest of the run, so allocation pressure is
+// independent of stream length.
+type FreeList[T any] struct {
+	pool sync.Pool
+}
+
+// NewFreeList returns a free list that allocates with newFn when
+// empty.
+func NewFreeList[T any](newFn func() T) *FreeList[T] {
+	return &FreeList[T]{pool: sync.Pool{New: func() any { return newFn() }}}
+}
+
+// Get takes a buffer from the list, allocating if none is free.
+func (f *FreeList[T]) Get() T { return f.pool.Get().(T) }
+
+// Put returns a buffer for reuse. The caller must not touch it again.
+func (f *FreeList[T]) Put(v T) { f.pool.Put(v) }
+
+// SlicePool recycles []E scratch slices of varying length: Get returns
+// a slice resized to n (reallocating only when capacity is short), Put
+// recycles the backing array. It is the recycler for the per-frame
+// projection buffers the partition stage consumes.
+type SlicePool[E any] struct {
+	free *FreeList[*[]E]
+}
+
+// NewSlicePool returns an empty slice pool.
+func NewSlicePool[E any]() *SlicePool[E] {
+	return &SlicePool[E]{
+		free: NewFreeList(func() *[]E { return new([]E) }),
+	}
+}
+
+// Get returns a length-n slice (contents unspecified) backed by a
+// recycled array when one fits.
+func (p *SlicePool[E]) Get(n int) *[]E {
+	s := p.free.Get()
+	if cap(*s) < n {
+		*s = make([]E, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return s
+}
+
+// Put recycles the slice's backing array.
+func (p *SlicePool[E]) Put(s *[]E) {
+	if s != nil {
+		p.free.Put(s)
+	}
+}

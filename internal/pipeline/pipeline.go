@@ -1,0 +1,324 @@
+// Package pipeline is the streaming stage engine behind the core
+// façade: a generic executor that connects typed stages with bounded
+// channels so successive frames of a time series overlap — frame N+1
+// partitions while frame N extracts and frame N-1 renders, the same
+// stage-parallel structure the paper's chain of separate programs
+// (simulate → partition → extract → render) has when driven over
+// hundreds of time steps.
+//
+// The building blocks:
+//
+//   - A Pipeline owns the shared context, the first error, and the
+//     lifetime of every goroutine a stream starts. Wait blocks until
+//     all stages drain and returns the first error; Cancel aborts the
+//     whole stream promptly.
+//   - Source feeds values into the chain from a generator goroutine.
+//   - Map is a stage: per-stage worker counts built on par.Pool, a
+//     bounded output channel for backpressure, and order preservation
+//     (results are re-sequenced, so a multi-worker stage still emits
+//     frames in input order — required for deterministic output files
+//     and bit-identical comparisons against the serial path).
+//   - Sink and Collect terminate a chain.
+//   - FreeList (freelist.go) recycles per-frame scratch buffers
+//     (projection point slices, framebuffers) through a sync.Pool so a
+//     long stream's allocation rate is bounded by the number of frames
+//     in flight, not the number of frames processed.
+//
+// Error handling is first-error-wins: a failing stage records its
+// error and cancels the shared context; every blocked send, receive
+// and generator observes the cancellation and unwinds, so Wait returns
+// promptly with no goroutine left behind.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/par"
+)
+
+// Pipeline coordinates the stages of one streaming run. Create with
+// New, wire stages with Source/Map/Sink, then Wait. The zero value is
+// not usable.
+type Pipeline struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// New returns a pipeline whose stages run under a child of ctx:
+// cancelling ctx aborts the stream.
+func New(ctx context.Context) *Pipeline {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	return &Pipeline{ctx: ctx, cancel: cancel}
+}
+
+// Context returns the pipeline's context; stage functions receive it
+// and long-running bodies should poll it.
+func (p *Pipeline) Context() context.Context { return p.ctx }
+
+// Cancel aborts the stream. Stages unwind promptly; Wait returns the
+// cancellation error unless a stage failed first.
+func (p *Pipeline) Cancel() { p.fail(context.Canceled) }
+
+// Fail aborts the stream with the given error (first error wins), for
+// callers that detect a problem outside any stage body.
+func (p *Pipeline) Fail(err error) { p.fail(err) }
+
+// fail records the first error and cancels the shared context.
+func (p *Pipeline) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+// Wait blocks until every stage goroutine has exited and returns the
+// first error (nil on a clean run). A run aborted by the parent
+// context reports that context's error, so a truncated stream is
+// never mistaken for a completed one. Wait is safe to call from
+// multiple goroutines.
+func (p *Pipeline) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	if p.err == nil {
+		// No stage failed and nobody called Cancel/Fail: any live
+		// cancellation on the shared context came from the parent.
+		p.err = context.Cause(p.ctx)
+	}
+	err := p.err
+	p.mu.Unlock()
+	p.cancel() // release the context even on clean runs
+	return err
+}
+
+// go_ runs f tracked by the pipeline's WaitGroup.
+func (p *Pipeline) go_(f func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		f()
+	}()
+}
+
+// send delivers v unless the pipeline is cancelled first.
+func send[T any](ctx context.Context, ch chan<- T, v T) bool {
+	select {
+	case ch <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// recv takes the next value; ok is false once ch closes or the
+// pipeline is cancelled.
+func recv[T any](ctx context.Context, ch <-chan T) (v T, ok bool) {
+	select {
+	case v, ok = <-ch:
+		return v, ok
+	case <-ctx.Done():
+		return v, false
+	}
+}
+
+// StageConfig sizes one stage.
+type StageConfig struct {
+	Name    string // used in error messages
+	Workers int    // concurrent applications of the stage body (0 or <0 = 1)
+	Buf     int    // output channel capacity (0 = Workers)
+}
+
+func (c StageConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 1
+}
+
+func (c StageConfig) buf() int {
+	if c.Buf > 0 {
+		return c.Buf
+	}
+	return c.workers()
+}
+
+// stageError wraps a stage body failure with the stage's name.
+func stageError(name string, err error) error {
+	if name == "" {
+		return err
+	}
+	return fmt.Errorf("pipeline: stage %s: %w", name, err)
+}
+
+// Source starts a generator goroutine feeding a bounded channel of
+// depth buf (minimum 1). emit returns false once the pipeline is
+// cancelled; the generator should then return promptly (its error, if
+// any, is ignored after cancellation wins). Returning a non-nil error
+// fails the pipeline.
+func Source[T any](p *Pipeline, buf int, gen func(ctx context.Context, emit func(T) bool) error) <-chan T {
+	if buf < 1 {
+		buf = 1
+	}
+	out := make(chan T, buf)
+	p.go_(func() {
+		defer close(out)
+		emit := func(v T) bool { return send(p.ctx, out, v) }
+		if err := gen(p.ctx, emit); err != nil && p.ctx.Err() == nil {
+			p.fail(stageError("source", err))
+		}
+	})
+	return out
+}
+
+// FromSlice is a Source over a fixed set of values.
+func FromSlice[T any](p *Pipeline, buf int, vs []T) <-chan T {
+	return Source(p, buf, func(_ context.Context, emit func(T) bool) error {
+		for _, v := range vs {
+			if !emit(v) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// seqItem tags a value with its input sequence number so multi-worker
+// stages can restore order.
+type seqItem[T any] struct {
+	seq int64
+	val T
+}
+
+// Map connects in to a new bounded output channel through fn. Up to
+// cfg.Workers frames are processed concurrently on a par.Pool; output
+// order always matches input order regardless of worker count. A fn
+// error fails the pipeline and cancels the stream.
+func Map[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, fn func(ctx context.Context, v I) (O, error)) <-chan O {
+	workers := cfg.workers()
+	out := make(chan O, cfg.buf())
+	// Results are buffered to workers+buf so a worker never blocks on a
+	// reorderer that is itself blocked downstream holding earlier seqs.
+	results := make(chan seqItem[O], workers+cfg.buf())
+	pool := par.NewPool(workers, workers)
+
+	// Dispatcher: tag inputs with sequence numbers and submit to the
+	// pool. Submit blocking on a full queue is the stage's backpressure.
+	p.go_(func() {
+		defer close(results)
+		defer pool.Close()
+		var seq int64
+		for {
+			v, ok := recv(p.ctx, in)
+			if !ok {
+				return
+			}
+			s := seq
+			seq++
+			pool.Submit(func() {
+				if p.ctx.Err() != nil {
+					return
+				}
+				o, err := fn(p.ctx, v)
+				if err != nil {
+					if p.ctx.Err() == nil {
+						p.fail(stageError(cfg.Name, err))
+					}
+					return
+				}
+				send(p.ctx, results, seqItem[O]{s, o})
+			})
+		}
+	})
+
+	// Reorderer: emit results in sequence order.
+	p.go_(func() {
+		defer close(out)
+		next := int64(0)
+		pending := make(map[int64]O, workers)
+		for r := range results {
+			pending[r.seq] = r.val
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if !send(p.ctx, out, v) {
+					return
+				}
+				next++
+			}
+		}
+	})
+	return out
+}
+
+// Sink consumes in on a single goroutine in arrival order (which Map
+// guarantees is input order), calling fn for each value. A fn error
+// fails the pipeline. Use it for ordered writers at the end of a
+// chain.
+func Sink[T any](p *Pipeline, in <-chan T, name string, fn func(ctx context.Context, v T) error) {
+	p.go_(func() {
+		for {
+			v, ok := recv(p.ctx, in)
+			if !ok {
+				return
+			}
+			if err := fn(p.ctx, v); err != nil {
+				if p.ctx.Err() == nil {
+					p.fail(stageError(name, err))
+				}
+				return
+			}
+		}
+	})
+}
+
+// Collect accumulates every value of in into a slice. The slice is
+// valid only after Wait returns.
+func Collect[T any](p *Pipeline, in <-chan T) *[]T {
+	out := new([]T)
+	Sink(p, in, "collect", func(_ context.Context, v T) error {
+		*out = append(*out, v)
+		return nil
+	})
+	return out
+}
+
+// Stream pairs a pipeline with its typed output channel — the handle
+// the core façade returns to callers. Range over Out, then call Wait;
+// or Cancel mid-stream to abort.
+type Stream[T any] struct {
+	Out <-chan T
+	p   *Pipeline
+}
+
+// NewStream wraps an output channel and its pipeline.
+func NewStream[T any](p *Pipeline, out <-chan T) *Stream[T] {
+	return &Stream[T]{Out: out, p: p}
+}
+
+// Wait drains any unread output and blocks until the stream has fully
+// unwound, returning its first error.
+func (s *Stream[T]) Wait() error {
+	for range s.Out {
+	}
+	return s.p.Wait()
+}
+
+// Cancel aborts the stream; Wait then returns context.Canceled unless
+// a stage failed first.
+func (s *Stream[T]) Cancel() { s.p.Cancel() }

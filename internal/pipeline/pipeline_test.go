@@ -1,0 +1,213 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderPreserved: a multi-worker stage with deliberately skewed
+// per-item latency must still emit in input order.
+func TestMapOrderPreserved(t *testing.T) {
+	p := New(context.Background())
+	in := Source(p, 4, func(_ context.Context, emit func(int) bool) error {
+		for i := 0; i < 64; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	out := Map(p, in, StageConfig{Name: "square", Workers: 8}, func(_ context.Context, v int) (int, error) {
+		// Early items sleep longest so workers finish out of order.
+		time.Sleep(time.Duration(64-v) * 100 * time.Microsecond)
+		return v * v, nil
+	})
+	got := Collect(p, out)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 64 {
+		t.Fatalf("got %d results, want 64", len(*got))
+	}
+	for i, v := range *got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d (order violated)", i, v, i*i)
+		}
+	}
+}
+
+// TestChainedStages runs a three-stage chain and checks the data
+// flows end to end.
+func TestChainedStages(t *testing.T) {
+	p := New(context.Background())
+	a := FromSlice(p, 2, []int{1, 2, 3, 4, 5})
+	b := Map(p, a, StageConfig{Workers: 2}, func(_ context.Context, v int) (int, error) {
+		return v + 10, nil
+	})
+	c := Map(p, b, StageConfig{Workers: 3}, func(_ context.Context, v int) (string, error) {
+		return fmt.Sprintf("#%d", v), nil
+	})
+	var sunk []string
+	Sink(p, c, "gather", func(_ context.Context, v string) error {
+		sunk = append(sunk, v)
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"#11", "#12", "#13", "#14", "#15"}
+	if len(sunk) != len(want) {
+		t.Fatalf("sunk %v, want %v", sunk, want)
+	}
+	for i := range want {
+		if sunk[i] != want[i] {
+			t.Fatalf("sunk[%d] = %q, want %q", i, sunk[i], want[i])
+		}
+	}
+}
+
+// TestFirstErrorPropagation: a mid-stream stage failure must surface
+// from Wait and stop the source.
+func TestFirstErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	p := New(context.Background())
+	var emitted atomic.Int64
+	in := Source(p, 1, func(ctx context.Context, emit func(int) bool) error {
+		for i := 0; ; i++ {
+			if !emit(i) {
+				return nil
+			}
+			emitted.Add(1)
+		}
+	})
+	out := Map(p, in, StageConfig{Name: "fail", Workers: 2}, func(_ context.Context, v int) (int, error) {
+		if v == 5 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	Sink(p, out, "drain", func(_ context.Context, _ int) error { return nil })
+	err := p.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if emitted.Load() > 1000 {
+		t.Errorf("source kept running after failure: emitted %d", emitted.Load())
+	}
+}
+
+// TestCancellationNoGoroutineLeak: cancelling a stream mid-frame
+// returns promptly and leaves no goroutines behind.
+func TestCancellationNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	p := New(context.Background())
+	in := Source(p, 2, func(ctx context.Context, emit func(int) bool) error {
+		for i := 0; ; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+	})
+	out := Map(p, in, StageConfig{Name: "slow", Workers: 4}, func(ctx context.Context, v int) (int, error) {
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return v, nil
+	})
+	s := NewStream(p, out)
+
+	// Take a couple of results, then abort mid-stream.
+	<-s.Out
+	<-s.Out
+	s.Cancel()
+
+	done := make(chan error, 1)
+	go func() { done <- s.Wait() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after Cancel")
+	}
+
+	// The par.Pool workers park on their task channel until garbage
+	// collected with the pool; every pipeline goroutine must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestParentContextCancel aborts the stream via the caller's context.
+func TestParentContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(ctx)
+	in := Source(p, 1, func(ctx context.Context, emit func(int) bool) error {
+		for i := 0; ; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+	})
+	out := Map(p, in, StageConfig{Workers: 2}, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	s := NewStream(p, out)
+	<-s.Out
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Wait() }()
+	select {
+	case err := <-done:
+		// A parent-aborted run must not look like a clean completion.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after parent cancel")
+	}
+}
+
+// TestSlicePoolReuse: a recycled backing array must be reused when it
+// fits, and regrown when it does not.
+func TestSlicePoolReuse(t *testing.T) {
+	sp := NewSlicePool[float64]()
+	// Under the race detector sync.Pool deliberately drops a fraction of
+	// Puts, so assert reuse statistically rather than on one round trip.
+	reused := false
+	for i := 0; i < 50 && !reused; i++ {
+		s := sp.Get(100)
+		if len(*s) != 100 {
+			t.Fatalf("len = %d, want 100", len(*s))
+		}
+		first := &(*s)[0]
+		sp.Put(s)
+		s2 := sp.Get(50)
+		if len(*s2) != 50 {
+			t.Fatalf("len = %d, want 50", len(*s2))
+		}
+		reused = &(*s2)[0] == first
+		sp.Put(s2)
+	}
+	if !reused {
+		t.Error("backing array never reused for smaller request")
+	}
+	s3 := sp.Get(200)
+	if len(*s3) != 200 {
+		t.Fatalf("len = %d, want 200", len(*s3))
+	}
+}

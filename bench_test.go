@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -458,14 +459,39 @@ func BenchmarkFig10StyledIncremental(b *testing.B) {
 
 func BenchmarkPartitionScaling(b *testing.B) {
 	f := getBeamFrame(b)
-	for _, n := range []int{25_000, 50_000, 100_000, 200_000} {
+	makePoints := func(n int) []vec.V3 {
 		pts := make([]vec.V3, n)
 		for i := range pts {
 			pts[i] = f.E.Point3(i%f.E.Len(), [3]beam.Axis{beam.AxisX, beam.AxisY, beam.AxisZ})
 		}
+		return pts
+	}
+	// Linear-in-N scaling (C1) at the default worker count.
+	for _, n := range []int{25_000, 50_000, 100_000, 200_000} {
+		pts := makePoints(n)
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := octree.Build(pts, octree.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Worker sweep at terascale-direction N: the sharded sort and
+	// concurrent carve should scale the partition stage with cores.
+	bigPts := makePoints(1_000_000)
+	workerCounts := []int{1, 2, 4}
+	if ncpu := runtime.NumCPU(); ncpu > 4 {
+		workerCounts = append(workerCounts, ncpu)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("N=1000000/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := octree.DefaultConfig()
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := octree.Build(bigPts, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

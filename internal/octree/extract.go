@@ -46,7 +46,7 @@ func (t *Tree) refs(lo, hi int64) []PointRef {
 			break
 		}
 		d := t.Nodes[t.LeavesByDensity[k]].Density
-		for i := max64(gLo, lo); i < min64(gHi, hi); i++ {
+		for i := max(gLo, lo); i < min(gHi, hi); i++ {
 			out = append(out, PointRef{Index: i, Orig: t.OrigIndex[i], Density: d})
 		}
 	}
@@ -76,18 +76,4 @@ func (t *Tree) ThresholdForBudget(budget int64) float64 {
 		return t.Nodes[t.LeavesByDensity[k-1]].Density * 2
 	}
 	return t.Nodes[t.LeavesByDensity[k]].Density
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

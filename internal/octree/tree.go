@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/par"
+	"repro/internal/sortx"
 	"repro/internal/vec"
 )
 
@@ -116,48 +117,94 @@ func Build(points []vec.V3, cfg Config) (*Tree, error) {
 		vec.New(c.X+half, c.Y+half, c.Z+half),
 	)
 
-	// Pass 2 (parallel): Morton codes at the maximal level.
+	// Pass 2 (parallel): Morton codes at the maximal level, packed with
+	// the source index into (key, payload) pairs for the sort.
 	n := len(points)
 	cells := uint64(1) << uint(cfg.MaxLevel)
-	codes := make([]uint64, n)
+	pairs := make([]sortx.KV, n)
 	scale := float64(cells) / size
 	par.For(n, cfg.Workers, func(i int) {
 		p := points[i]
 		cx := cellCoord((p.X-root.Min.X)*scale, cells)
 		cy := cellCoord((p.Y-root.Min.Y)*scale, cells)
 		cz := cellCoord((p.Z-root.Min.Z)*scale, cells)
-		// Shift codes up so they compare as if computed at MaxLevel
-		// resolution; childAt below uses cfg.MaxLevel consistently.
-		codes[i] = Encode(cx, cy, cz)
+		// Codes compare as if computed at MaxLevel resolution; childAt
+		// below uses cfg.MaxLevel consistently.
+		pairs[i] = sortx.KV{K: Encode(cx, cy, cz), V: int64(i)}
 	})
 
-	// Pass 3: sort point indices by code.
-	order := make([]int64, n)
-	for i := range order {
-		order[i] = int64(i)
-	}
-	sort.Slice(order, func(a, b int) bool { return codes[order[a]] < codes[order[b]] })
+	// Pass 3 (parallel): stable radix sort by code. Stability makes the
+	// whole build independent of the worker count: equal codes keep
+	// input order, so every downstream pass sees the same permutation.
+	sortx.Pairs(pairs, cfg.Workers)
 
-	// Pass 4: carve the tree out of the sorted array.
+	// The carve's binary-search splits assume monotone codes, and a
+	// violated assumption would carve a silently corrupt tree — so
+	// spend one cheap parallel scan keeping the invariant loud (the
+	// role the serial carve's partition panic used to play).
+	sorted := par.MapReduce(n, cfg.Workers,
+		func() bool { return true },
+		func(ok bool, lo, hi int) bool {
+			if lo == 0 {
+				lo = 1
+			}
+			for i := lo; i < hi; i++ {
+				if pairs[i-1].K > pairs[i].K {
+					return false
+				}
+			}
+			return ok
+		},
+		func(a, b bool) bool { return a && b },
+	)
+	if !sorted {
+		panic("octree: Morton codes not sorted (sortx invariant violated)")
+	}
+
+	// Pass 4 (parallel): carve the tree out of the sorted array.
+	// Independent subtrees build concurrently into local buffers that
+	// are stitched back in depth-first order, so the node layout is
+	// identical at every worker count.
 	t := &Tree{
 		Bounds:   root,
 		MaxLevel: cfg.MaxLevel,
 		LeafCap:  cfg.LeafCap,
 	}
-	t.Nodes = append(t.Nodes, Node{Bounds: root, FirstChild: NoChild, Count: int64(n)})
-	t.build(0, 0, int64(n), codes, order, cfg)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	cv := &carver{pairs: pairs, cfg: cfg}
+	if workers > 1 {
+		cv.grp = par.NewGroup(workers)
+		// Aim for several tasks per worker so irregular subtrees
+		// balance; below the grain a subtree is carved serially.
+		cv.grain = int64(n) / int64(workers*4)
+		if cv.grain < 4096 {
+			cv.grain = 4096
+		}
+	}
+	t.Nodes = cv.carve(Node{Bounds: root, FirstChild: NoChild}, 0, int64(n))
 
-	// Pass 5: order leaves by increasing density and emit the grouped,
-	// density-sorted point array (the paper's particle-file layout).
+	// Pass 5 (parallel): order leaves by increasing density and emit the
+	// grouped, density-sorted point array (the paper's particle-file
+	// layout). The density sort reuses sortx via an order-preserving
+	// float-to-uint key; the gather fans out over leaf groups, whose
+	// destination ranges are disjoint by construction.
 	var leaves []int32
 	for i := range t.Nodes {
 		if t.Nodes[i].IsLeaf() && t.Nodes[i].Count > 0 {
 			leaves = append(leaves, int32(i))
 		}
 	}
-	sort.SliceStable(leaves, func(a, b int) bool {
-		return t.Nodes[leaves[a]].Density < t.Nodes[leaves[b]].Density
-	})
+	byDensity := make([]sortx.KV, len(leaves))
+	for k, li := range leaves {
+		byDensity[k] = sortx.KV{K: sortx.Float64Key(t.Nodes[li].Density), V: int64(li)}
+	}
+	sortx.Pairs(byDensity, cfg.Workers)
+	for k := range byDensity {
+		leaves[k] = int32(byDensity[k].V)
+	}
 
 	t.Points = make([]vec.V3, n)
 	t.OrigIndex = make([]int64, n)
@@ -165,20 +212,25 @@ func Build(points []vec.V3, cfg Config) (*Tree, error) {
 	t.LeafOffsets = make([]int64, len(leaves)+1)
 	pos := int64(0)
 	for k, li := range leaves {
-		node := &t.Nodes[li]
 		t.LeafOffsets[k] = pos
-		// node.Offset currently holds the group start in the
-		// Morton-sorted order; rewrite it to the density-sorted order.
-		src := node.Offset
-		for j := int64(0); j < node.Count; j++ {
-			oi := order[src+j]
-			t.Points[pos+j] = points[oi]
-			t.OrigIndex[pos+j] = oi
-		}
-		node.Offset = pos
-		pos += node.Count
+		pos += t.Nodes[li].Count
 	}
 	t.LeafOffsets[len(leaves)] = pos
+	par.ForChunks(len(leaves), cfg.Workers, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			node := &t.Nodes[leaves[k]]
+			// node.Offset holds the group start in the Morton-sorted
+			// order; rewrite it to the density-sorted order.
+			src := node.Offset
+			dst := t.LeafOffsets[k]
+			for j := int64(0); j < node.Count; j++ {
+				oi := pairs[src+j].V
+				t.Points[dst+j] = points[oi]
+				t.OrigIndex[dst+j] = oi
+			}
+			node.Offset = dst
+		}
+	})
 	return t, nil
 }
 
@@ -194,11 +246,22 @@ func cellCoord(x float64, cells uint64) uint64 {
 	return c
 }
 
-// build recursively subdivides node idx, whose points occupy
-// order[lo:hi] (Morton-sorted). Offsets stored here are provisional
-// (Morton order); Build rewrites them in density order afterwards.
-func (t *Tree) build(idx int32, lo, hi int64, codes []uint64, order []int64, cfg Config) {
-	node := &t.Nodes[idx]
+// carver carves the tree out of the Morton-sorted pair array. pairs is
+// shared, read-only, and positional: pairs[i].K is the code of the
+// i-th sorted point. A nil grp (or subtree sizes at or below grain)
+// means serial depth-first carving; otherwise the eight child subtrees
+// of a node are carved concurrently on the group and stitched back in
+// child order, which reproduces the serial depth-first node layout
+// exactly — concurrency changes only the wall clock, never the tree.
+type carver struct {
+	pairs []sortx.KV
+	cfg   Config
+	grain int64
+	grp   *par.Group
+}
+
+// fill sets the per-node statistics every node carries, leaf or not.
+func (cv *carver) fill(node *Node, lo, hi int64) {
 	node.Offset = lo
 	node.Count = hi - lo
 	vol := node.Bounds.Volume()
@@ -207,35 +270,116 @@ func (t *Tree) build(idx int32, lo, hi int64, codes []uint64, order []int64, cfg
 	} else {
 		node.Density = math.Inf(1)
 	}
-	if hi-lo <= int64(cfg.LeafCap) || int(node.Level) >= cfg.MaxLevel {
+}
+
+// split returns the nine boundaries of the eight child ranges of
+// [lo,hi) at the given level. The Morton sort makes each child's
+// points contiguous and the child id non-decreasing over the range, so
+// each boundary is a binary search — O(log n) per child instead of the
+// linear scan the serial carve used.
+func (cv *carver) split(lo, hi int64, level int) [9]int64 {
+	var s [9]int64
+	s[0] = lo
+	maxLevel := cv.cfg.MaxLevel
+	for c := 0; c < 8; c++ {
+		base := s[c]
+		k := sort.Search(int(hi-base), func(i int) bool {
+			return childAt(cv.pairs[base+int64(i)].K, level, maxLevel) > c
+		})
+		s[c+1] = base + int64(k)
+	}
+	return s
+}
+
+// carve builds the subtree rooted at root, whose points occupy sorted
+// positions [lo,hi), and returns its nodes in depth-first layout with
+// the root at index 0 and FirstChild indices local to the returned
+// slice. Offsets stored here are provisional (Morton order); Build
+// rewrites them in density order afterwards.
+func (cv *carver) carve(root Node, lo, hi int64) []Node {
+	if cv.grp == nil || hi-lo <= cv.grain {
+		nodes := []Node{root}
+		cv.carveSerial(&nodes, 0, lo, hi)
+		return nodes
+	}
+	cv.fill(&root, lo, hi)
+	if hi-lo <= int64(cv.cfg.LeafCap) || int(root.Level) >= cv.cfg.MaxLevel {
+		return []Node{root}
+	}
+	// Fan the eight children out on the group; each carves into its own
+	// buffer. Serial depth-first order is [root, child 0..7,
+	// descendants(0), descendants(1), ...] — children first (they are
+	// appended when the parent expands), each child's descendant block
+	// following in child order — so stitching the buffers back in child
+	// order with relabeled FirstChild indices is layout-identical to
+	// the serial carve.
+	splits := cv.split(lo, hi, int(root.Level))
+	var sub [8][]Node
+	tasks := make([]func(), 8)
+	for c := 0; c < 8; c++ {
+		c := c
+		child := Node{
+			Bounds:     root.Bounds.Octant(c),
+			FirstChild: NoChild,
+			Level:      root.Level + 1,
+		}
+		tasks[c] = func() { sub[c] = cv.carve(child, splits[c], splits[c+1]) }
+	}
+	cv.grp.Do(tasks...)
+
+	total := 9
+	var descStart [8]int32
+	for c := 0; c < 8; c++ {
+		descStart[c] = int32(total)
+		total += len(sub[c]) - 1
+	}
+	out := make([]Node, 0, total)
+	root.FirstChild = 1
+	out = append(out, root)
+	// relabel maps a child-local node index (>= 1; nothing points back
+	// at a subtree's root) into the stitched layout.
+	relabel := func(nd Node, c int) Node {
+		if nd.FirstChild != NoChild {
+			nd.FirstChild = descStart[c] + nd.FirstChild - 1
+		}
+		return nd
+	}
+	for c := 0; c < 8; c++ {
+		out = append(out, relabel(sub[c][0], c))
+	}
+	for c := 0; c < 8; c++ {
+		for _, nd := range sub[c][1:] {
+			out = append(out, relabel(nd, c))
+		}
+	}
+	return out
+}
+
+// carveSerial recursively subdivides (*nodes)[idx], whose points occupy
+// sorted positions [lo,hi) — the serial depth-first carve, appending to
+// a local buffer.
+func (cv *carver) carveSerial(nodes *[]Node, idx int32, lo, hi int64) {
+	node := &(*nodes)[idx]
+	cv.fill(node, lo, hi)
+	if hi-lo <= int64(cv.cfg.LeafCap) || int(node.Level) >= cv.cfg.MaxLevel {
 		return
 	}
 
 	level := int(node.Level)
-	first := int32(len(t.Nodes))
+	first := int32(len(*nodes))
 	node.FirstChild = first
 	bounds := node.Bounds
 	childLevel := node.Level + 1
 	for c := 0; c < 8; c++ {
-		t.Nodes = append(t.Nodes, Node{
+		*nodes = append(*nodes, Node{
 			Bounds:     bounds.Octant(c),
 			FirstChild: NoChild,
 			Level:      childLevel,
 		})
 	}
-	// Split [lo,hi) by the 3-bit child id at this level; the Morton
-	// sort guarantees each child's points are contiguous.
-	start := lo
+	splits := cv.split(lo, hi, level)
 	for c := 0; c < 8; c++ {
-		end := start
-		for end < hi && childAt(codes[order[end]], level, cfg.MaxLevel) == c {
-			end++
-		}
-		t.build(first+int32(c), start, end, codes, order, cfg)
-		start = end
-	}
-	if start != hi {
-		panic("octree: children do not partition parent range (Morton sort violated)")
+		cv.carveSerial(nodes, first+int32(c), splits[c], splits[c+1])
 	}
 }
 

@@ -151,6 +151,54 @@ func (p *Pool) Close() {
 	p.once.Do(func() { close(p.tasks) })
 }
 
+// Group is a bounded fork-join scope for recursive divide-and-conquer
+// work (e.g. the octree's concurrent tree carve). Unlike Pool, whose
+// Wait covers every submitted task and therefore deadlocks when tasks
+// spawn and wait on subtasks, Group.Do waits only for the tasks of
+// that call, and a task that cannot obtain a worker slot simply runs
+// on the calling goroutine — recursion never blocks on the budget, it
+// just degrades to serial execution.
+type Group struct {
+	slots chan struct{}
+}
+
+// NewGroup returns a group that runs at most `workers` tasks
+// concurrently across all nested Do calls (0 means Workers()). The
+// calling goroutine counts as one worker, so workers <= 1 yields fully
+// serial execution.
+func NewGroup(workers int) *Group {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	return &Group{slots: make(chan struct{}, workers-1)}
+}
+
+// Do runs the given tasks and returns when all of them have completed.
+// Tasks beyond the group's concurrency budget execute inline on the
+// caller, preserving bounded parallelism under arbitrary recursion
+// depth.
+func (g *Group) Do(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, task := range tasks[1:] {
+		select {
+		case g.slots <- struct{}{}:
+			wg.Add(1)
+			go func(t func()) {
+				defer wg.Done()
+				defer func() { <-g.slots }()
+				t()
+			}(task)
+		default:
+			task()
+		}
+	}
+	tasks[0]()
+	wg.Wait()
+}
+
 // Slabs divides n layers (e.g. the z-extent of an FDTD grid) into
 // contiguous slabs, one per worker, and returns the slab boundaries as
 // a slice of [lo,hi) pairs. Domain-slab decomposition is how the

@@ -120,6 +120,62 @@ func TestPoolReusableAfterWait(t *testing.T) {
 	}
 }
 
+func TestGroupRecursiveSum(t *testing.T) {
+	// A recursive fork-join reduction must complete and be correct at
+	// any budget, including the fully-inline workers=1 case.
+	for _, w := range []int{1, 2, 8} {
+		g := NewGroup(w)
+		var sum func(lo, hi int) int64
+		sum = func(lo, hi int) int64 {
+			if hi-lo <= 64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			}
+			mid := (lo + hi) / 2
+			var left, right int64
+			g.Do(
+				func() { left = sum(lo, mid) },
+				func() { right = sum(mid, hi) },
+			)
+			return left + right
+		}
+		const n = 100000
+		if got, want := sum(0, n), int64(n)*(n-1)/2; got != want {
+			t.Errorf("workers=%d: recursive sum = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	g := NewGroup(workers)
+	var cur, peak int64
+	var tasks []func()
+	for i := 0; i < 64; i++ {
+		tasks = append(tasks, func() {
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+					break
+				}
+			}
+			atomic.AddInt64(&cur, -1)
+		})
+	}
+	g.Do(tasks...)
+	if peak > workers {
+		t.Errorf("observed %d concurrent tasks, budget %d", peak, workers)
+	}
+}
+
+func TestGroupEmptyDo(t *testing.T) {
+	NewGroup(4).Do() // must not panic or hang
+}
+
 func TestSlabsPartition(t *testing.T) {
 	slabs := Slabs(10, 3)
 	if len(slabs) == 0 {

@@ -1,9 +1,9 @@
 package render
 
 import (
-	"sort"
-
 	"repro/internal/hybrid"
+	"repro/internal/par"
+	"repro/internal/sortx"
 )
 
 // OITBuffer implements order-independent transparency: fragments are
@@ -22,6 +22,11 @@ type OITBuffer struct {
 	// FragmentCount tallies stored fragments (memory cost metric: this
 	// is why the hardware variant was bounded to a few layers).
 	FragmentCount int64
+	// Workers bounds Resolve's parallelism (0 = auto). Pixels are
+	// independent — sorting and compositing touch only that pixel's
+	// fragment list and framebuffer slot — so the resolve fans out
+	// without changing the image.
+	Workers int
 }
 
 type oitFragment struct {
@@ -47,24 +52,38 @@ func (o *OITBuffer) Add(x, y int, depth float32, c hybrid.RGBA) {
 // Resolve sorts each pixel's fragments far-to-near and composites them
 // over the framebuffer with straight alpha. Fragments behind the
 // framebuffer's opaque depth are discarded (the opaque scene occludes
-// them). The buffer is cleared afterwards.
+// them). The buffer is cleared afterwards. The per-pixel sort runs on
+// sortx (stable, so equal-depth fragments composite in submission
+// order) with per-worker scratch reused across pixels.
 func (o *OITBuffer) Resolve(fb *Framebuffer) {
-	for i := range o.lists {
-		frags := o.lists[i]
-		if len(frags) == 0 {
-			continue
-		}
-		x, y := i%o.W, i/o.W
-		zOpaque := fb.Depth[i]
-		sort.Slice(frags, func(a, b int) bool { return frags[a].depth > frags[b].depth })
-		for _, f := range frags {
-			if f.depth > zOpaque {
-				continue // behind opaque geometry
+	par.ForChunks(len(o.lists), o.Workers, func(lo, hi int) {
+		var kv, scratch []sortx.KV
+		for i := lo; i < hi; i++ {
+			frags := o.lists[i]
+			if len(frags) == 0 {
+				continue
 			}
-			fb.writeFragment(x, y, f.depth, f.color, BlendAlpha, false, false)
+			x, y := i%o.W, i/o.W
+			zOpaque := fb.Depth[i]
+			if cap(kv) < len(frags) {
+				kv = make([]sortx.KV, len(frags))
+				scratch = make([]sortx.KV, len(frags))
+			}
+			kv = kv[:len(frags)]
+			for j, f := range frags {
+				kv[j] = sortx.KV{K: sortx.Float32KeyDesc(f.depth), V: int64(j)}
+			}
+			sortx.PairsScratch(kv, scratch[:len(frags)], 1)
+			for _, e := range kv {
+				f := frags[e.V]
+				if f.depth > zOpaque {
+					continue // behind opaque geometry
+				}
+				fb.writeFragment(x, y, f.depth, f.color, BlendAlpha, false, false)
+			}
+			o.lists[i] = nil
 		}
-		o.lists[i] = nil
-	}
+	})
 }
 
 // MaxDepthComplexity returns the largest per-pixel fragment count

@@ -11,11 +11,11 @@ package sos
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/fieldline"
 	"repro/internal/hybrid"
 	"repro/internal/render"
+	"repro/internal/sortx"
 	"repro/internal/vec"
 )
 
@@ -201,15 +201,22 @@ func rotateAround(v, axis vec.V3, angle float64) vec.V3 {
 // order-independent transparency; per-line midpoint sorting is the
 // standard interactive approximation.)
 func SortByDepth(lines []*fieldline.Line, eye vec.V3) []int {
-	order := make([]int, len(lines))
-	depth := make([]float64, len(lines))
+	// Descending float keys sort ascending as uints; sortx is stable,
+	// so equal-depth lines keep their input order, matching the
+	// sort.SliceStable behavior this replaces.
+	kv := make([]sortx.KV, len(lines))
 	for i, l := range lines {
-		order[i] = i
+		var depth float64
 		if l.NumPoints() > 0 {
-			depth[i] = eye.Dist(l.Points[l.NumPoints()/2])
+			depth = eye.Dist(l.Points[l.NumPoints()/2])
 		}
+		kv[i] = sortx.KV{K: sortx.Float64KeyDesc(depth), V: int64(i)}
 	}
-	sort.SliceStable(order, func(a, b int) bool { return depth[order[a]] > depth[order[b]] })
+	sortx.Pairs(kv, 0)
+	order := make([]int, len(lines))
+	for i := range kv {
+		order[i] = int(kv[i].V)
+	}
 	return order
 }
 

@@ -148,6 +148,8 @@ func BenchmarkFig1VolumeRendering(b *testing.B) {
 // low-res volume plus halo points — of Fig 1 (right). The paper's
 // claim is that this runs at "much higher frame rates" than the
 // full-resolution volume; compare ns/op with BenchmarkFig1VolumeRendering.
+// The frag/s metric tracks the point-pass throughput of the tile
+// rasterizer (fragments counted after screen culling).
 func BenchmarkFig1HybridRendering(b *testing.B) {
 	rep, tf := extractAt(b, benchVolHyb, benchParticles/25)
 	cam, err := render.LookAtBounds(rep.Bounds, vec.New(0.2, 0.25, 1), math.Pi/3, 1)
@@ -155,11 +157,17 @@ func BenchmarkFig1HybridRendering(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	var frags int64
 	for i := 0; i < b.N; i++ {
 		fb, _ := render.NewFramebuffer(benchImage, benchImage)
-		if _, _, err := volren.RenderHybrid(rep, tf, fb, cam, 1.2, false); err != nil {
+		rast, _, err := volren.RenderHybrid(rep, tf, fb, cam, 1.2, false)
+		if err != nil {
 			b.Fatal(err)
 		}
+		frags += rast.FragmentCount
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(frags)/sec, "frag/s")
 	}
 }
 
@@ -234,11 +242,13 @@ func BenchmarkFig4HybridDecomposition(b *testing.B) {
 		vr.Render(fbV, cam)
 		fbP, _ := render.NewFramebuffer(benchImage, benchImage)
 		rast := render.NewRasterizer(fbP, cam)
+		splats := make([]render.PointSplat, len(rep.Points))
 		for j := range rep.Points {
 			c := tf.Color.Eval(tf.MapDensity(float64(rep.PointDensity[j])))
 			c.A = 1
-			rast.DrawPoint(rep.Points[j], 1.2, c)
+			splats[j] = render.PointSplat{Pos: rep.Points[j], Radius: 1.2, Color: c}
 		}
+		rast.DrawPointBatch(splats)
 		fbC, _ := render.NewFramebuffer(benchImage, benchImage)
 		if _, _, err := volren.RenderHybrid(rep, tf, fbC, cam, 1.2, true); err != nil {
 			b.Fatal(err)

@@ -267,12 +267,14 @@ func (r *reporter) fig4() {
 	// Points only (opaque, Fig 4 note).
 	fbP, _ := render.NewFramebuffer(p.imageSize, p.imageSize)
 	rast := render.NewRasterizer(fbP, cam)
+	splats := make([]render.PointSplat, len(rep.Points))
 	for i := range rep.Points {
 		d := tf.MapDensity(float64(rep.PointDensity[i]))
 		c := tf.Color.Eval(d)
 		c.A = 1
-		rast.DrawPoint(rep.Points[i], 1.2, c)
+		splats[i] = render.PointSplat{Pos: rep.Points[i], Radius: 1.2, Color: c}
 	}
+	rast.DrawPointBatch(splats)
 	// Combined.
 	fbC, _ := render.NewFramebuffer(p.imageSize, p.imageSize)
 	if _, _, err := volren.RenderHybrid(rep, tf, fbC, cam, 1.2, true); err != nil {

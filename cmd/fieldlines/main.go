@@ -14,7 +14,9 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/fieldline"
 	"repro/internal/lineio"
+	"repro/internal/vec"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 		res     = flag.Int("res", 10, "lattice cells per cavity radius")
 		periods = flag.Float64("periods", 6, "drive periods before tracing")
 		lines   = flag.Int("lines", 400, "total field lines to integrate")
+		grid    = flag.Int("grid", 0, "trace an NxNxN uniform seed grid concurrently instead of density-proportional seeding")
+		workers = flag.Int("workers", 0, "trace workers for -grid mode (0 = all cores)")
 		out     = flag.String("out", "lines.acfl", "output line file")
 	)
 	flag.Parse()
@@ -34,24 +38,67 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("field solved: t=%.3f, maxE=%.4g\n", frame.Time, frame.MaxE())
-
-	result, err := p.TraceE(frame)
-	if err != nil {
-		log.Fatal(err)
-	}
 	mesh, err := p.Mesh()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("traced %d lines; density correlation at full set %.3f, at half %.3f\n",
-		len(result.Lines),
-		result.DensityCorrelation(mesh, len(result.Lines)),
-		result.DensityCorrelation(mesh, len(result.Lines)/2))
 
-	if err := lineio.WriteFile(*out, result.Lines); err != nil {
+	var traced []*fieldline.Line
+	if *grid > 0 {
+		// Uniform-grid preview mode: seeds are independent, so the
+		// whole batch integrates concurrently on fieldline.TraceAll's
+		// chunked workers instead of one line at a time.
+		var seeds []vec.V3
+		b := mesh.Bounds
+		n := *grid
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					pt := vec.New(
+						b.Min.X+(float64(i)+0.5)/float64(n)*(b.Max.X-b.Min.X),
+						b.Min.Y+(float64(j)+0.5)/float64(n)*(b.Max.Y-b.Min.Y),
+						b.Min.Z+(float64(k)+0.5)/float64(n)*(b.Max.Z-b.Min.Z),
+					)
+					if mesh.Inside(pt) {
+						seeds = append(seeds, pt)
+					}
+				}
+			}
+		}
+		cfg := fieldline.Config{
+			Step:     mesh.MinSpacing() / 2,
+			MaxSteps: 600,
+			MinMag:   frame.MaxE() * 1e-4,
+			Domain:   mesh.Inside,
+		}
+		traced, err = fieldline.TraceBothAll(fieldline.FieldFunc(frame.SampleE), seeds, cfg, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kept := traced[:0]
+		for _, l := range traced {
+			if l.NumPoints() >= 2 {
+				kept = append(kept, l)
+			}
+		}
+		traced = kept
+		fmt.Printf("traced %d grid lines from %d seeds\n", len(traced), len(seeds))
+	} else {
+		result, err := p.TraceE(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traced = result.Lines
+		fmt.Printf("traced %d lines; density correlation at full set %.3f, at half %.3f\n",
+			len(result.Lines),
+			result.DensityCorrelation(mesh, len(result.Lines)),
+			result.DensityCorrelation(mesh, len(result.Lines)/2))
+	}
+
+	if err := lineio.WriteFile(*out, traced); err != nil {
 		log.Fatal(err)
 	}
-	lb := lineio.LinesBytes(result.Lines)
+	lb := lineio.LinesBytes(traced)
 	fmt.Printf("wrote %s (%d bytes; raw field %d bytes; saving %.1fx)\n",
 		*out, lb, frame.RawBytes(), lineio.SavingFactor(frame.RawBytes(), lb))
 }

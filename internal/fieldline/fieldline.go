@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/vec"
 )
 
@@ -159,6 +160,52 @@ func Trace(f Field, seed vec.V3, cfg Config, sign float64) (*Line, error) {
 		p = p.Add(delta)
 	}
 	return line, nil
+}
+
+// TraceAll integrates one line per seed concurrently on par.ForChunks
+// (workers 0 = auto) — lines are independent, so the batch scales with
+// cores while result order and every line stay identical to serial
+// Trace calls in seed order. The field's At must be safe for
+// concurrent calls (the sampled-frame adapters and analytic fields
+// are: they only read).
+func TraceAll(f Field, seeds []vec.V3, cfg Config, sign float64, workers int) ([]*Line, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := make([]*Line, len(seeds))
+	errs := make([]error, len(seeds))
+	par.ForChunks(len(seeds), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lines[i], errs[i] = Trace(f, seeds[i], cfg, sign)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lines, nil
+}
+
+// TraceBothAll is the bidirectional batch variant of TraceAll: one
+// TraceBoth per seed, integrated concurrently.
+func TraceBothAll(f Field, seeds []vec.V3, cfg Config, workers int) ([]*Line, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := make([]*Line, len(seeds))
+	errs := make([]error, len(seeds))
+	par.ForChunks(len(seeds), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lines[i], errs[i] = TraceBoth(f, seeds[i], cfg)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lines, nil
 }
 
 // TraceBoth integrates from the seed in both directions and joins the

@@ -1,6 +1,7 @@
 package fieldline
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -201,5 +202,105 @@ func TestMaxStrength(t *testing.T) {
 	want := 4.0
 	if math.Abs(line.MaxStrength()-want) > 1e-9 {
 		t.Errorf("MaxStrength = %v, want %v", line.MaxStrength(), want)
+	}
+}
+
+// linesEqual reports whether two lines match sample for sample.
+func linesEqual(a, b *Line) bool {
+	if a.NumPoints() != b.NumPoints() || a.Closed != b.Closed {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] || a.Tangents[i] != b.Tangents[i] || a.Strengths[i] != b.Strengths[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTraceAllMatchesSerial: the parallel batch must return exactly
+// the lines serial tracing produces, in seed order, at every worker
+// count.
+func TestTraceAllMatchesSerial(t *testing.T) {
+	cfg := Config{Step: 0.05, MaxSteps: 200, CloseLoop: true}
+	var seeds []vec.V3
+	for i := 0; i < 64; i++ {
+		a := float64(i) * 0.37
+		seeds = append(seeds, vec.New(0.3+math.Cos(a), math.Sin(a), float64(i%5)*0.1))
+	}
+	want := make([]*Line, len(seeds))
+	for i, s := range seeds {
+		l, err := Trace(FieldFunc(circular), s, cfg, +1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = l
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := TraceAll(FieldFunc(circular), seeds, cfg, +1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d lines, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !linesEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: line %d differs from serial trace", workers, i)
+			}
+		}
+	}
+}
+
+func TestTraceBothAllMatchesSerial(t *testing.T) {
+	cfg := Config{Step: 0.05, MaxSteps: 100, MinMag: 1e-6}
+	var seeds []vec.V3
+	for i := 0; i < 32; i++ {
+		seeds = append(seeds, vec.New(0.5+float64(i)*0.05, 0.2, 0.1))
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := TraceBothAll(FieldFunc(radial), seeds, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			want, err := TraceBoth(FieldFunc(radial), s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !linesEqual(got[i], want) {
+				t.Fatalf("workers=%d: line %d differs from serial TraceBoth", workers, i)
+			}
+		}
+	}
+}
+
+func TestTraceAllValidatesConfig(t *testing.T) {
+	if _, err := TraceAll(FieldFunc(uniformX), []vec.V3{{}}, Config{}, +1, 2); err == nil {
+		t.Error("accepted invalid config")
+	}
+	if _, err := TraceBothAll(FieldFunc(uniformX), nil, Config{Step: 0.1, MaxSteps: 1}, 2); err != nil {
+		t.Errorf("empty seed set errored: %v", err)
+	}
+}
+
+// BenchmarkTraceAll measures batch integration throughput over
+// independent seeds at several worker counts.
+func BenchmarkTraceAll(b *testing.B) {
+	cfg := Config{Step: 0.02, MaxSteps: 400, CloseLoop: true}
+	seeds := make([]vec.V3, 256)
+	for i := range seeds {
+		a := float64(i) * 0.11
+		seeds[i] = vec.New(1+0.5*math.Cos(a), 0.5*math.Sin(a), 0)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TraceAll(FieldFunc(circular), seeds, cfg, +1, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -6,6 +6,17 @@
 // bump mapping); alpha blending with back-to-front compositing; and
 // additive splatting for dense particle clouds.
 //
+// Rendering runs through a tile-binned parallel backend: the batched
+// entry points (DrawPointBatch, DrawLineBatch, DrawTriangleBatch,
+// DrawTriangleStripBatch, or a mixed Batch) project and bin primitives
+// into fixed screen tiles, then rasterize the tiles concurrently —
+// each tile owned by exactly one worker, primitives replayed in
+// submission order, so the image is bit-identical to the serial
+// immediate-mode path at every worker count with no locks or atomics
+// on pixel data. Point splats read a precomputed Gaussian kernel table
+// instead of calling math.Exp per fragment, and triangle fill steps
+// affine edge functions with early screen-bounds rejection.
+//
 // Absolute speed is not the reproduction target — the *ratios* between
 // techniques (triangles per field line, hybrid vs full-resolution
 // volume cost) are, and those are preserved because every primitive

@@ -6,6 +6,18 @@ import (
 	"repro/internal/sortx"
 )
 
+// fragmentSink intercepts fragments before the framebuffer; returning
+// true consumes the fragment. shard is the tile-run index during a
+// batched draw — every pixel belongs to exactly one shard, so per-shard
+// state needs no synchronization — or -1 from the immediate-mode path.
+// beginShards/endShards bracket each batched flush so implementations
+// can allocate and fold contention-free per-tile state.
+type fragmentSink interface {
+	sinkFragment(shard, x, y int, depth float32, c hybrid.RGBA) bool
+	beginShards(n int)
+	endShards()
+}
+
 // OITBuffer implements order-independent transparency: fragments are
 // collected per pixel with their depths and composited back-to-front
 // at resolve time, regardless of submission order. This is the
@@ -15,7 +27,11 @@ import (
 // bump mapping" — the caller uses a plain Phong shader).
 //
 // Usage: attach with Rasterizer.AttachOIT, draw transparent geometry
-// in any order, then Resolve to composite into the framebuffer.
+// in any order — immediate or batched — then Resolve to composite into
+// the framebuffer. During a batched draw, fragments arrive from
+// concurrent tile workers; the per-pixel lists are safe because each
+// pixel is owned by one tile, and the fragment tally is kept in
+// per-tile buckets folded together after the flush.
 type OITBuffer struct {
 	W, H  int
 	lists [][]oitFragment
@@ -39,14 +55,24 @@ func NewOITBuffer(w, h int) *OITBuffer {
 	return &OITBuffer{W: w, H: h, lists: make([][]oitFragment, w*h)}
 }
 
-// Add stores a fragment for pixel (x, y).
-func (o *OITBuffer) Add(x, y int, depth float32, c hybrid.RGBA) {
+// insert appends a fragment to its pixel list without touching the
+// shared counter. Callers either own the pixel's tile (batched path)
+// or account through Add (serial path). Reports whether the fragment
+// was stored.
+func (o *OITBuffer) insert(x, y int, depth float32, c hybrid.RGBA) bool {
 	if x < 0 || x >= o.W || y < 0 || y >= o.H || c.A <= 0 {
-		return
+		return false
 	}
 	i := y*o.W + x
 	o.lists[i] = append(o.lists[i], oitFragment{depth, c})
-	o.FragmentCount++
+	return true
+}
+
+// Add stores a fragment for pixel (x, y).
+func (o *OITBuffer) Add(x, y int, depth float32, c hybrid.RGBA) {
+	if o.insert(x, y, depth, c) {
+		o.FragmentCount++
+	}
 }
 
 // Resolve sorts each pixel's fragments far-to-near and composites them
@@ -99,25 +125,53 @@ func (o *OITBuffer) MaxDepthComplexity() int {
 	return m
 }
 
+// oitSink routes rasterizer fragments into an OITBuffer, depth-testing
+// against the opaque scene at capture time and deferring the blend to
+// Resolve. The batched path counts stored fragments in per-tile
+// buckets (one per shard) folded into FragmentCount at endShards, so
+// concurrent tile workers never contend on the tally.
+type oitSink struct {
+	r      *Rasterizer
+	o      *OITBuffer
+	counts []int64
+}
+
+func (s *oitSink) sinkFragment(shard, x, y int, depth float32, c hybrid.RGBA) bool {
+	// Depth-test against opaque geometry now; defer blending. The
+	// emitter has already clipped to the framebuffer rect.
+	if s.r.DepthTest && depth > s.r.FB.Depth[y*s.r.FB.W+x] {
+		return true
+	}
+	if shard >= 0 {
+		if s.o.insert(x, y, depth, c) {
+			s.counts[shard]++
+		}
+		return true
+	}
+	s.o.Add(x, y, depth, c)
+	return true
+}
+
+func (s *oitSink) beginShards(n int) { s.counts = make([]int64, n) }
+
+func (s *oitSink) endShards() {
+	var total int64
+	for _, c := range s.counts {
+		total += c
+	}
+	s.o.FragmentCount += total
+	s.counts = nil
+}
+
 // AttachOIT redirects the rasterizer's blended fragments into the OIT
 // buffer instead of the framebuffer: it returns a restore function.
 // While attached, the rasterizer must use BlendAlpha mode; opaque
 // passes should be drawn (and depth-written) before attaching so
-// Resolve can occlusion-test against them.
+// Resolve can occlusion-test against them. Batched draws work while
+// attached: capture parallelizes over tiles with per-tile fragment
+// buckets.
 func (r *Rasterizer) AttachOIT(o *OITBuffer) (restore func()) {
 	prev := r.fragmentSink
-	r.fragmentSink = func(x, y int, depth float32, c hybrid.RGBA) bool {
-		// Depth-test against opaque geometry now; defer blending.
-		if r.DepthTest {
-			if x < 0 || x >= r.FB.W || y < 0 || y >= r.FB.H {
-				return true
-			}
-			if depth > r.FB.Depth[y*r.FB.W+x] {
-				return true
-			}
-		}
-		o.Add(x, y, depth, c)
-		return true
-	}
+	r.fragmentSink = &oitSink{r: r, o: o}
 	return func() { r.fragmentSink = prev }
 }

@@ -28,12 +28,23 @@ type Fragment struct {
 // Shader computes a fragment's final color; nil means "use the
 // interpolated vertex color unchanged". It is the software analog of
 // the fragment stage the paper programs through texturing and register
-// combiners.
+// combiners. Shaders must be pure functions of their fragment: the
+// batched path invokes them from concurrent tile workers.
 type Shader func(f Fragment) hybrid.RGBA
 
 // Rasterizer draws primitives into a framebuffer through a camera.
 // Configure the public fields, then call the Draw methods. The zero
 // value is not usable; construct with NewRasterizer.
+//
+// Two submission paths share the same per-primitive setup and
+// per-fragment kernels, so they produce bit-identical images: the
+// immediate Draw* methods rasterize each primitive on the calling
+// goroutine, while the batched entry points (DrawPointBatch,
+// DrawLineBatch, DrawTriangleBatch, DrawTriangleStripBatch, or an
+// explicit Batch) bin projected primitives into fixed screen tiles and
+// rasterize the tiles concurrently — each tile owned by exactly one
+// worker, primitives replayed in submission order, with no locks or
+// atomics on the pixel data.
 type Rasterizer struct {
 	FB  *Framebuffer
 	Cam Camera
@@ -43,8 +54,14 @@ type Rasterizer struct {
 	DepthWrite bool
 	Shade      Shader
 
+	// Workers bounds the tile parallelism of the batched draw path
+	// (0 = par.Workers()). The image is identical at every count.
+	Workers int
+
 	// Stats: fragments written and triangles submitted, the cost model
-	// the technique-comparison experiments report.
+	// the technique-comparison experiments report. Fragments are
+	// counted after screen culling, so off-screen splat and line
+	// overhang never inflates the technique comparison.
 	FragmentCount int64
 	TriangleCount int64
 	PointCount    int64
@@ -52,18 +69,39 @@ type Rasterizer struct {
 
 	// fragmentSink, when set, intercepts fragments before the
 	// framebuffer (used by the order-independent transparency buffer).
-	// Returning true consumes the fragment.
-	fragmentSink func(x, y int, depth float32, c hybrid.RGBA) bool
+	fragmentSink fragmentSink
 }
 
-// emit routes one fragment through the optional sink, then the
-// framebuffer.
-func (r *Rasterizer) emit(x, y int, depth float32, c hybrid.RGBA) {
-	r.FragmentCount++
-	if r.fragmentSink != nil && r.fragmentSink(x, y, depth, c) {
+// emitCtx is a per-worker fragment destination: an inclusive clip
+// rectangle plus local counters. Tile workers use their tile rect and
+// run index as the sink shard; the immediate-mode path uses the full
+// screen and shard -1. Keeping the counters here is what lets tile
+// workers run without shared mutable state.
+type emitCtx struct {
+	r              *Rasterizer
+	x0, y0, x1, y1 int
+	shard          int
+	frags          int64
+}
+
+// emit routes one in-rect fragment through the optional sink, then the
+// framebuffer. Fragments outside the rect are dropped before counting.
+func (e *emitCtx) emit(x, y int, depth float32, c hybrid.RGBA) {
+	if x < e.x0 || x > e.x1 || y < e.y0 || y > e.y1 {
+		return
+	}
+	e.frags++
+	r := e.r
+	if r.fragmentSink != nil && r.fragmentSink.sinkFragment(e.shard, x, y, depth, c) {
 		return
 	}
 	r.FB.writeFragment(x, y, depth, c, r.Mode, r.DepthTest, r.DepthWrite)
+}
+
+// screenCtx returns the immediate-mode emit context: the whole screen,
+// no sink shard.
+func (r *Rasterizer) screenCtx() emitCtx {
+	return emitCtx{r: r, x1: r.FB.W - 1, y1: r.FB.H - 1, shard: -1}
 }
 
 // NewRasterizer returns an opaque-mode rasterizer with depth testing.
@@ -76,44 +114,222 @@ func (r *Rasterizer) ResetStats() {
 	r.FragmentCount, r.TriangleCount, r.PointCount, r.LineCount = 0, 0, 0, 0
 }
 
-// DrawPoint splats a round point of the given pixel radius with a
-// Gaussian alpha falloff, the viewer's particle primitive.
-func (r *Rasterizer) DrawPoint(p vec.V3, pixelRadius float64, c hybrid.RGBA) {
+// ---- point splats ----------------------------------------------------
+
+// kernelSteps quantizes the normalized squared distance d²/r² of a
+// point splat into the Gaussian kernel table.
+const kernelSteps = 1024
+
+// gaussKernel[i] = exp(-2·i/kernelSteps): the splat falloff
+// exp(-d²/(2σ²)) with σ = r/2 tabulated over d²/r² ∈ [0,1], replacing
+// a math.Exp per fragment with one indexed load. The quantization
+// error is bounded by the table step (≤ 0.2% of full scale).
+var gaussKernel [kernelSteps + 1]float64
+
+func init() {
+	for i := range gaussKernel {
+		gaussKernel[i] = math.Exp(-2 * float64(i) / kernelSteps)
+	}
+}
+
+// pointSetup is a projected point splat clipped to the screen.
+type pointSetup struct {
+	cx, cy         int
+	x0, y0, x1, y1 int // disc bounding box clamped to the screen
+	r2             float64
+	qscale         float64 // kernel-table quantization: kernelSteps/r²
+	depth          float32
+	color          hybrid.RGBA
+}
+
+// setupPoint projects one splat. projected=false means the point is
+// behind the camera (not drawn, not counted); visible=false means the
+// disc misses the screen entirely (counted, but no fragment work).
+func (r *Rasterizer) setupPoint(p vec.V3, pixelRadius float64, c hybrid.RGBA, s *pointSetup) (projected, visible bool) {
 	sx, sy, depth, ok := r.Cam.WorldToScreen(p, r.FB.W, r.FB.H)
 	if !ok {
-		return
+		return false, false
 	}
-	r.PointCount++
 	if pixelRadius < 0.5 {
 		pixelRadius = 0.5
 	}
 	ir := int(math.Ceil(pixelRadius))
 	cx, cy := int(sx), int(sy)
-	inv2s2 := 1 / (2 * (pixelRadius / 2) * (pixelRadius / 2))
-	for dy := -ir; dy <= ir; dy++ {
-		for dx := -ir; dx <= ir; dx++ {
+	x0, y0, x1, y1 := cx-ir, cy-ir, cx+ir, cy+ir
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > r.FB.W-1 {
+		x1 = r.FB.W - 1
+	}
+	if y1 > r.FB.H-1 {
+		y1 = r.FB.H - 1
+	}
+	if x0 > x1 || y0 > y1 {
+		return true, false
+	}
+	s.cx, s.cy = cx, cy
+	s.x0, s.y0, s.x1, s.y1 = x0, y0, x1, y1
+	s.r2 = pixelRadius * pixelRadius
+	s.qscale = kernelSteps / s.r2
+	s.depth = float32(depth)
+	s.color = c
+	return true, true
+}
+
+// rasterPoint replays the splat's fragments inside e's rect. Every
+// per-fragment value depends only on the pixel coordinate and the
+// setup, so any sub-rectangle reproduces the full-screen result.
+//
+// The sink-free case writes the framebuffer directly with the blend
+// state hoisted out of the pixel loop; the values stored are exactly
+// those the generic emit path would produce, fragment for fragment.
+func rasterPoint(s *pointSetup, e *emitCtx) {
+	x0, y0, x1, y1 := s.x0, s.y0, s.x1, s.y1
+	if x0 < e.x0 {
+		x0 = e.x0
+	}
+	if y0 < e.y0 {
+		y0 = e.y0
+	}
+	if x1 > e.x1 {
+		x1 = e.x1
+	}
+	if y1 > e.y1 {
+		y1 = e.y1
+	}
+	r := e.r
+	if r.fragmentSink != nil {
+		for py := y0; py <= y1; py++ {
+			dy := py - s.cy
+			for px := x0; px <= x1; px++ {
+				dx := px - s.cx
+				d2 := float64(dx*dx + dy*dy)
+				if d2 > s.r2 {
+					continue
+				}
+				fc := s.color
+				fc.A = s.color.A * gaussKernel[int(d2*s.qscale)]
+				e.emit(px, py, s.depth, fc)
+			}
+		}
+		return
+	}
+	fb := r.FB
+	mode, depthTest, depthWrite := r.Mode, r.DepthTest, r.DepthWrite
+	cr, cg, cb := float32(s.color.R), float32(s.color.G), float32(s.color.B)
+	depth := s.depth
+	if mode == BlendOpaque && depthTest && depthWrite {
+		// The viewer's splat configuration, tightest loop of the
+		// pipeline: depth-tested opaque stores only.
+		for py := y0; py <= y1; py++ {
+			dy := py - s.cy
+			rowD := py * fb.W
+			for px := x0; px <= x1; px++ {
+				dx := px - s.cx
+				d2 := float64(dx*dx + dy*dy)
+				if d2 > s.r2 {
+					continue
+				}
+				e.frags++
+				di := rowD + px
+				if depth > fb.Depth[di] {
+					continue
+				}
+				ci := di * 4
+				fb.Color[ci] = cr
+				fb.Color[ci+1] = cg
+				fb.Color[ci+2] = cb
+				fb.Color[ci+3] = float32(s.color.A * gaussKernel[int(d2*s.qscale)])
+				fb.Depth[di] = depth
+			}
+		}
+		return
+	}
+	for py := y0; py <= y1; py++ {
+		dy := py - s.cy
+		rowD := py * fb.W
+		for px := x0; px <= x1; px++ {
+			dx := px - s.cx
 			d2 := float64(dx*dx + dy*dy)
-			if d2 > pixelRadius*pixelRadius {
+			if d2 > s.r2 {
 				continue
 			}
-			w := math.Exp(-d2 * inv2s2)
-			fc := c
-			fc.A = c.A * w
-			r.emit(cx+dx, cy+dy, float32(depth), fc)
+			e.frags++
+			di := rowD + px
+			if depthTest && depth > fb.Depth[di] {
+				continue
+			}
+			a := float32(s.color.A * gaussKernel[int(d2*s.qscale)])
+			ci := di * 4
+			switch mode {
+			case BlendOpaque:
+				fb.Color[ci] = cr
+				fb.Color[ci+1] = cg
+				fb.Color[ci+2] = cb
+				fb.Color[ci+3] = a
+			case BlendAlpha:
+				fb.Color[ci] = cr*a + fb.Color[ci]*(1-a)
+				fb.Color[ci+1] = cg*a + fb.Color[ci+1]*(1-a)
+				fb.Color[ci+2] = cb*a + fb.Color[ci+2]*(1-a)
+				fb.Color[ci+3] = a + fb.Color[ci+3]*(1-a)
+			case BlendAdditive:
+				fb.Color[ci] += cr * a
+				fb.Color[ci+1] += cg * a
+				fb.Color[ci+2] += cb * a
+				fb.Color[ci+3] += a
+			}
+			if depthWrite {
+				fb.Depth[di] = depth
+			}
 		}
 	}
 }
 
-// DrawLine draws a depth-interpolated line with the given pixel width.
-// Widths > 1 stamp a small disc at each step (the "fat line" fallback
-// the conventional line-drawing technique of Fig 6(a) uses).
-func (r *Rasterizer) DrawLine(p0, p1 vec.V3, width float64, c0, c1 hybrid.RGBA) {
+// DrawPoint splats a round point of the given pixel radius with a
+// Gaussian alpha falloff, the viewer's particle primitive.
+func (r *Rasterizer) DrawPoint(p vec.V3, pixelRadius float64, c hybrid.RGBA) {
+	var s pointSetup
+	projected, visible := r.setupPoint(p, pixelRadius, c, &s)
+	if !projected {
+		return
+	}
+	r.PointCount++
+	if !visible {
+		return
+	}
+	e := r.screenCtx()
+	rasterPoint(&s, &e)
+	r.FragmentCount += e.frags
+}
+
+// ---- lines -----------------------------------------------------------
+
+// lineSetup is a near-clipped, projected line.
+type lineSetup struct {
+	ax, ay, ad     float64 // screen start and depth
+	dx, dy, dd     float64 // screen deltas
+	steps          int
+	ir             int     // stamp radius in pixels (0 for 1px lines)
+	w2             float64 // width²/4, the stamp disc test
+	width          float64
+	c0, c1         hybrid.RGBA
+	x0, y0, x1, y1 int // conservative bounding box clamped to the screen
+}
+
+// setupLine clips and projects one line. drawn=false means the line is
+// entirely behind the near plane (not counted); visible=false means no
+// fragment can land on screen (counted, no work).
+func (r *Rasterizer) setupLine(p0, p1 vec.V3, width float64, c0, c1 hybrid.RGBA, s *lineSetup) (drawn, visible bool) {
 	a := r.Cam.viewSpace(p0)
 	b := r.Cam.viewSpace(p1)
 	// Clip to the near plane in view space.
 	nz := -r.Cam.Near
 	if a.Z >= nz && b.Z >= nz {
-		return
+		return false, false
 	}
 	if a.Z >= nz || b.Z >= nz {
 		t := (nz - a.Z) / (b.Z - a.Z)
@@ -124,32 +340,139 @@ func (r *Rasterizer) DrawLine(p0, p1 vec.V3, width float64, c0, c1 hybrid.RGBA) 
 			b = clip
 		}
 	}
-	r.LineCount++
 	ax, ay, ad, _ := r.Cam.project(a, r.FB.W, r.FB.H)
 	bx, by, bd, _ := r.Cam.project(b, r.FB.W, r.FB.H)
 	dx, dy := bx-ax, by-ay
 	steps := int(math.Max(math.Abs(dx), math.Abs(dy))) + 1
-	for i := 0; i <= steps; i++ {
-		t := float64(i) / float64(steps)
-		x := ax + t*dx
-		y := ay + t*dy
-		d := ad + t*(bd-ad)
-		c := c0.Lerp(c1, t)
-		if width <= 1 {
-			r.emit(int(x), int(y), float32(d), c)
+	ir := 0
+	if width > 1 {
+		ir = int(math.Ceil(width / 2))
+	}
+	x0 := int(math.Floor(math.Min(ax, bx))) - ir - 1
+	x1 := int(math.Ceil(math.Max(ax, bx))) + ir + 1
+	y0 := int(math.Floor(math.Min(ay, by))) - ir - 1
+	y1 := int(math.Ceil(math.Max(ay, by))) + ir + 1
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > r.FB.W-1 {
+		x1 = r.FB.W - 1
+	}
+	if y1 > r.FB.H-1 {
+		y1 = r.FB.H - 1
+	}
+	if x0 > x1 || y0 > y1 {
+		return true, false
+	}
+	s.ax, s.ay, s.ad = ax, ay, ad
+	s.dx, s.dy, s.dd = dx, dy, bd-ad
+	s.steps, s.ir = steps, ir
+	s.w2, s.width = width*width/4, width
+	s.c0, s.c1 = c0, c1
+	s.x0, s.y0, s.x1, s.y1 = x0, y0, x1, y1
+	return true, true
+}
+
+// stepRange returns the inclusive range of step indices whose position
+// v(i) = a + (i/steps)·d can fall inside [lo, hi]; any=false when none
+// can. The bounds carry a one-step safety margin so float rounding can
+// never exclude a step that would emit into the interval.
+func stepRange(a, d, lo, hi float64, steps int) (int, int, bool) {
+	if d == 0 {
+		if a < lo || a > hi {
+			return 0, 0, false
+		}
+		return 0, steps, true
+	}
+	t0 := (lo - a) / d * float64(steps)
+	t1 := (hi - a) / d * float64(steps)
+	if t0 > t1 {
+		t0, t1 = t1, t0
+	}
+	i0 := int(math.Floor(t0)) - 1
+	i1 := int(math.Ceil(t1)) + 1
+	if i1 < 0 || i0 > steps {
+		return 0, 0, false
+	}
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > steps {
+		i1 = steps
+	}
+	return i0, i1, true
+}
+
+// rasterLine replays the line's fragments inside e's rect. The step
+// walk is restricted to the conservative sub-range that can reach the
+// rect; each step computes t from its index alone, so a sub-range
+// reproduces exactly the fragments the full walk would emit there.
+func rasterLine(s *lineSetup, e *emitCtx) {
+	pad := float64(s.ir) + 2
+	i0, i1 := 0, s.steps
+	lo, hi, any := stepRange(s.ax, s.dx, float64(e.x0)-pad, float64(e.x1)+pad, s.steps)
+	if !any {
+		return
+	}
+	if lo > i0 {
+		i0 = lo
+	}
+	if hi < i1 {
+		i1 = hi
+	}
+	lo, hi, any = stepRange(s.ay, s.dy, float64(e.y0)-pad, float64(e.y1)+pad, s.steps)
+	if !any {
+		return
+	}
+	if lo > i0 {
+		i0 = lo
+	}
+	if hi < i1 {
+		i1 = hi
+	}
+	for i := i0; i <= i1; i++ {
+		t := float64(i) / float64(s.steps)
+		x := s.ax + t*s.dx
+		y := s.ay + t*s.dy
+		d := s.ad + t*s.dd
+		c := s.c0.Lerp(s.c1, t)
+		if s.width <= 1 {
+			e.emit(int(x), int(y), float32(d), c)
 			continue
 		}
-		ir := int(math.Ceil(width / 2))
-		for oy := -ir; oy <= ir; oy++ {
-			for ox := -ir; ox <= ir; ox++ {
-				if float64(ox*ox+oy*oy) > width*width/4 {
+		for oy := -s.ir; oy <= s.ir; oy++ {
+			for ox := -s.ir; ox <= s.ir; ox++ {
+				if float64(ox*ox+oy*oy) > s.w2 {
 					continue
 				}
-				r.emit(int(x)+ox, int(y)+oy, float32(d), c)
+				e.emit(int(x)+ox, int(y)+oy, float32(d), c)
 			}
 		}
 	}
 }
+
+// DrawLine draws a depth-interpolated line with the given pixel width.
+// Widths > 1 stamp a small disc at each step (the "fat line" fallback
+// the conventional line-drawing technique of Fig 6(a) uses).
+func (r *Rasterizer) DrawLine(p0, p1 vec.V3, width float64, c0, c1 hybrid.RGBA) {
+	var s lineSetup
+	drawn, visible := r.setupLine(p0, p1, width, c0, c1, &s)
+	if !drawn {
+		return
+	}
+	r.LineCount++
+	if !visible {
+		return
+	}
+	e := r.screenCtx()
+	rasterLine(&s, &e)
+	r.FragmentCount += e.frags
+}
+
+// ---- triangles -------------------------------------------------------
 
 // clipVert is a view-space vertex used during near-plane clipping.
 type clipVert struct {
@@ -170,18 +493,17 @@ func lerpClip(a, b clipVert, t float64) clipVert {
 	}
 }
 
-// DrawTriangle rasterizes one triangle with perspective-correct
-// attribute interpolation and near-plane clipping.
-func (r *Rasterizer) DrawTriangle(v0, v1, v2 Vertex) {
-	r.TriangleCount++
-	poly := []clipVert{
+// clipTriangle Sutherland-Hodgman clips the triangle against the near
+// plane into dst (reused to avoid allocation) and returns the clipped
+// polygon, which has at most 4 vertices.
+func (r *Rasterizer) clipTriangle(v0, v1, v2 Vertex, dst []clipVert) []clipVert {
+	poly := [3]clipVert{
 		{pos: r.Cam.viewSpace(v0.Pos), world: v0.Pos, n: v0.N, uv: v0.UV, color: v0.Color},
 		{pos: r.Cam.viewSpace(v1.Pos), world: v1.Pos, n: v1.N, uv: v1.UV, color: v1.Color},
 		{pos: r.Cam.viewSpace(v2.Pos), world: v2.Pos, n: v2.N, uv: v2.UV, color: v2.Color},
 	}
-	// Sutherland-Hodgman clip against z = -near.
 	nz := -r.Cam.Near
-	var clipped []clipVert
+	clipped := dst[:0]
 	for i := 0; i < len(poly); i++ {
 		cur, next := poly[i], poly[(i+1)%len(poly)]
 		curIn := cur.pos.Z < nz
@@ -194,41 +516,36 @@ func (r *Rasterizer) DrawTriangle(v0, v1, v2 Vertex) {
 			clipped = append(clipped, lerpClip(cur, next, t))
 		}
 	}
-	if len(clipped) < 3 {
-		return
-	}
-	for i := 1; i+1 < len(clipped); i++ {
-		r.fillTriangle(clipped[0], clipped[i], clipped[i+1])
-	}
+	return clipped
 }
 
-// DrawTriangleStrip draws vertices as a strip: (0,1,2), (1,2,3), ...
-// with alternating winding — the exact primitive self-orienting
-// surfaces are built from.
-func (r *Rasterizer) DrawTriangleStrip(verts []Vertex) {
-	for i := 0; i+2 < len(verts); i++ {
-		if i%2 == 0 {
-			r.DrawTriangle(verts[i], verts[i+1], verts[i+2])
-		} else {
-			r.DrawTriangle(verts[i+1], verts[i], verts[i+2])
-		}
-	}
+// triSetup is one projected, screen-clipped raster triangle with its
+// edge functions in affine form: wk(x, y) = basek + x·dwkdx + y·dwkdy
+// evaluated at pixel centers (w2 = 1 - w0 - w1). The affine form makes
+// every pixel's coverage and weights a pure function of its
+// coordinates, so tile and full-screen iteration agree bitwise while
+// each row costs just one multiply-add per edge to step.
+type triSetup struct {
+	a, b, c             clipVert
+	ad, bd, cd          float64 // projected depths
+	aw, bw, cw          float64 // inverse view-space depths
+	base0, dw0dx, dw0dy float64
+	base1, dw1dx, dw1dy float64
+	x0, y0, x1, y1      int // bounding box clamped to the screen
 }
 
-// fillTriangle rasterizes a clipped view-space triangle.
-func (r *Rasterizer) fillTriangle(a, b, c clipVert) {
+// setupTriangle projects one near-clipped view-space triangle and
+// derives its edge coefficients. ok=false when the triangle is behind
+// the near plane, degenerate, or entirely off screen — the early
+// rejection that keeps off-screen geometry out of the per-pixel loop.
+func (r *Rasterizer) setupTriangle(a, b, c clipVert, s *triSetup) bool {
 	w, h := r.FB.W, r.FB.H
 	ax, ay, ad, ok0 := r.Cam.project(a.pos, w, h)
 	bx, by, bd, ok1 := r.Cam.project(b.pos, w, h)
 	cx, cy, cd, ok2 := r.Cam.project(c.pos, w, h)
 	if !ok0 || !ok1 || !ok2 {
-		return
+		return false
 	}
-	// Inverse view-space depth for perspective-correct interpolation.
-	aw := -1 / a.pos.Z
-	bw := -1 / b.pos.Z
-	cw := -1 / c.pos.Z
-
 	minX := int(math.Floor(math.Min(ax, math.Min(bx, cx))))
 	maxX := int(math.Ceil(math.Max(ax, math.Max(bx, cx))))
 	minY := int(math.Floor(math.Min(ay, math.Min(by, cy))))
@@ -245,41 +562,76 @@ func (r *Rasterizer) fillTriangle(a, b, c clipVert) {
 	if maxY >= h {
 		maxY = h - 1
 	}
+	if minX > maxX || minY > maxY {
+		return false
+	}
 	area := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
 	if area == 0 {
-		return
+		return false
 	}
 	invArea := 1 / area
+	s.a, s.b, s.c = a, b, c
+	s.ad, s.bd, s.cd = ad, bd, cd
+	// Inverse view-space depth for perspective-correct interpolation.
+	s.aw, s.bw, s.cw = -1/a.pos.Z, -1/b.pos.Z, -1/c.pos.Z
+	s.base0 = (bx*cy - by*cx) * invArea
+	s.dw0dx = (by - cy) * invArea
+	s.dw0dy = (cx - bx) * invArea
+	s.base1 = (cx*ay - cy*ax) * invArea
+	s.dw1dx = (cy - ay) * invArea
+	s.dw1dy = (ax - cx) * invArea
+	s.x0, s.y0, s.x1, s.y1 = minX, minY, maxX, maxY
+	return true
+}
 
-	for py := minY; py <= maxY; py++ {
-		for px := minX; px <= maxX; px++ {
+// rasterTriangle fills the triangle inside e's rect with
+// perspective-correct attribute interpolation.
+func rasterTriangle(s *triSetup, e *emitCtx) {
+	r := e.r
+	x0, y0, x1, y1 := s.x0, s.y0, s.x1, s.y1
+	if x0 < e.x0 {
+		x0 = e.x0
+	}
+	if y0 < e.y0 {
+		y0 = e.y0
+	}
+	if x1 > e.x1 {
+		x1 = e.x1
+	}
+	if y1 > e.y1 {
+		y1 = e.y1
+	}
+	for py := y0; py <= y1; py++ {
+		y := float64(py) + 0.5
+		row0 := s.base0 + y*s.dw0dy
+		row1 := s.base1 + y*s.dw1dy
+		for px := x0; px <= x1; px++ {
 			x := float64(px) + 0.5
-			y := float64(py) + 0.5
-			w0 := ((bx-x)*(cy-y) - (by-y)*(cx-x)) * invArea
-			w1 := ((cx-x)*(ay-y) - (cy-y)*(ax-x)) * invArea
+			w0 := row0 + x*s.dw0dx
+			w1 := row1 + x*s.dw1dx
 			w2 := 1 - w0 - w1
 			if w0 < 0 || w1 < 0 || w2 < 0 {
 				continue
 			}
-			depth := w0*ad + w1*bd + w2*cd
+			depth := w0*s.ad + w1*s.bd + w2*s.cd
 			// Perspective-correct weights.
-			pw := w0*aw + w1*bw + w2*cw
-			u0 := w0 * aw / pw
-			u1 := w1 * bw / pw
-			u2 := w2 * cw / pw
+			pw := w0*s.aw + w1*s.bw + w2*s.cw
+			u0 := w0 * s.aw / pw
+			u1 := w1 * s.bw / pw
+			u2 := w2 * s.cw / pw
 
 			col := hybrid.RGBA{
-				R: u0*a.color.R + u1*b.color.R + u2*c.color.R,
-				G: u0*a.color.G + u1*b.color.G + u2*c.color.G,
-				B: u0*a.color.B + u1*b.color.B + u2*c.color.B,
-				A: u0*a.color.A + u1*b.color.A + u2*c.color.A,
+				R: u0*s.a.color.R + u1*s.b.color.R + u2*s.c.color.R,
+				G: u0*s.a.color.G + u1*s.b.color.G + u2*s.c.color.G,
+				B: u0*s.a.color.B + u1*s.b.color.B + u2*s.c.color.B,
+				A: u0*s.a.color.A + u1*s.b.color.A + u2*s.c.color.A,
 			}
 			if r.Shade != nil {
-				world := a.world.Scale(u0).Add(b.world.Scale(u1)).Add(c.world.Scale(u2))
+				world := s.a.world.Scale(u0).Add(s.b.world.Scale(u1)).Add(s.c.world.Scale(u2))
 				frag := Fragment{
 					Pos:     world,
-					N:       a.n.Scale(u0).Add(b.n.Scale(u1)).Add(c.n.Scale(u2)),
-					UV:      [2]float64{u0*a.uv[0] + u1*b.uv[0] + u2*c.uv[0], u0*a.uv[1] + u1*b.uv[1] + u2*c.uv[1]},
+					N:       s.a.n.Scale(u0).Add(s.b.n.Scale(u1)).Add(s.c.n.Scale(u2)),
+					UV:      [2]float64{u0*s.a.uv[0] + u1*s.b.uv[0] + u2*s.c.uv[0], u0*s.a.uv[1] + u1*s.b.uv[1] + u2*s.c.uv[1]},
 					Color:   col,
 					ViewDir: r.Cam.ViewDir(world),
 				}
@@ -288,7 +640,39 @@ func (r *Rasterizer) fillTriangle(a, b, c clipVert) {
 					continue
 				}
 			}
-			r.emit(px, py, float32(depth), col)
+			e.emit(px, py, float32(depth), col)
+		}
+	}
+}
+
+// DrawTriangle rasterizes one triangle with perspective-correct
+// attribute interpolation and near-plane clipping.
+func (r *Rasterizer) DrawTriangle(v0, v1, v2 Vertex) {
+	r.TriangleCount++
+	var clipBuf [4]clipVert
+	clipped := r.clipTriangle(v0, v1, v2, clipBuf[:])
+	if len(clipped) < 3 {
+		return
+	}
+	e := r.screenCtx()
+	var s triSetup
+	for i := 1; i+1 < len(clipped); i++ {
+		if r.setupTriangle(clipped[0], clipped[i], clipped[i+1], &s) {
+			rasterTriangle(&s, &e)
+		}
+	}
+	r.FragmentCount += e.frags
+}
+
+// DrawTriangleStrip draws vertices as a strip: (0,1,2), (1,2,3), ...
+// with alternating winding — the exact primitive self-orienting
+// surfaces are built from.
+func (r *Rasterizer) DrawTriangleStrip(verts []Vertex) {
+	for i := 0; i+2 < len(verts); i++ {
+		if i%2 == 0 {
+			r.DrawTriangle(verts[i], verts[i+1], verts[i+2])
+		} else {
+			r.DrawTriangle(verts[i+1], verts[i], verts[i+2])
 		}
 	}
 }

@@ -1,0 +1,564 @@
+package render
+
+import (
+	"sync"
+
+	"repro/internal/hybrid"
+	"repro/internal/par"
+	"repro/internal/sortx"
+	"repro/internal/vec"
+)
+
+// TileSize is the edge of the fixed screen tiles the batched path bins
+// primitives into. Each tile is rasterized by exactly one worker, so
+// the pixels it owns are written without locks or atomics.
+const TileSize = 32
+
+// Primitive kinds inside a batch.
+const (
+	kindPoint = iota
+	kindLine
+	kindTri
+)
+
+// batchPrim is one submitted primitive in submission order.
+type batchPrim struct {
+	kind int32
+	idx  int32 // index into the per-kind submission slice
+}
+
+type pointPrim struct {
+	pos    vec.V3
+	radius float64
+	color  hybrid.RGBA
+}
+
+type linePrim struct {
+	p0, p1 vec.V3
+	width  float64
+	c0, c1 hybrid.RGBA
+}
+
+type triPrim struct {
+	i0, i1, i2 int32 // indices into Batch.verts
+}
+
+// PointSplat is one batched point submission.
+type PointSplat struct {
+	Pos    vec.V3
+	Radius float64 // splat radius in pixels
+	Color  hybrid.RGBA
+}
+
+// LineSeg is one batched line-segment submission.
+type LineSeg struct {
+	P0, P1 vec.V3
+	Width  float64
+	C0, C1 hybrid.RGBA
+}
+
+// Batch records primitives for deferred, tile-parallel rasterization.
+// Primitives of any kind may be mixed; submission order is preserved
+// exactly, so a Flush produces the same image — bit for bit — as
+// issuing the same sequence of immediate Draw* calls, at every worker
+// count. Stats are folded into the rasterizer at Flush. A batch may be
+// reused after Flush; it keeps its capacity.
+type Batch struct {
+	r      *Rasterizer
+	prims  []batchPrim
+	points []pointPrim
+	lines  []linePrim
+	tris   []triPrim
+	verts  []Vertex
+}
+
+// NewBatch returns an empty batch bound to the rasterizer.
+func (r *Rasterizer) NewBatch() *Batch { return &Batch{r: r} }
+
+// Point submits one point splat.
+func (b *Batch) Point(p vec.V3, pixelRadius float64, c hybrid.RGBA) {
+	b.prims = append(b.prims, batchPrim{kindPoint, int32(len(b.points))})
+	b.points = append(b.points, pointPrim{p, pixelRadius, c})
+}
+
+// Line submits one line segment.
+func (b *Batch) Line(p0, p1 vec.V3, width float64, c0, c1 hybrid.RGBA) {
+	b.prims = append(b.prims, batchPrim{kindLine, int32(len(b.lines))})
+	b.lines = append(b.lines, linePrim{p0, p1, width, c0, c1})
+}
+
+// Triangle submits one triangle.
+func (b *Batch) Triangle(v0, v1, v2 Vertex) {
+	base := int32(len(b.verts))
+	b.verts = append(b.verts, v0, v1, v2)
+	b.prims = append(b.prims, batchPrim{kindTri, int32(len(b.tris))})
+	b.tris = append(b.tris, triPrim{base, base + 1, base + 2})
+}
+
+// TriangleStrip submits a strip with the same alternating winding as
+// DrawTriangleStrip: (0,1,2), (2,1,3), (2,3,4), ...
+func (b *Batch) TriangleStrip(verts []Vertex) {
+	base := int32(len(b.verts))
+	b.verts = append(b.verts, verts...)
+	for i := 0; i+2 < len(verts); i++ {
+		v0, v1 := base+int32(i), base+int32(i)+1
+		if i%2 == 1 {
+			v0, v1 = v1, v0
+		}
+		b.prims = append(b.prims, batchPrim{kindTri, int32(len(b.tris))})
+		b.tris = append(b.tris, triPrim{v0, v1, base + int32(i) + 2})
+	}
+}
+
+// reset empties the batch for reuse, keeping capacity.
+func (b *Batch) reset() {
+	b.prims = b.prims[:0]
+	b.points = b.points[:0]
+	b.lines = b.lines[:0]
+	b.tris = b.tris[:0]
+	b.verts = b.verts[:0]
+}
+
+// tileRun is one tile's contiguous slice of the binned pair array.
+type tileRun struct{ lo, hi int }
+
+// flushScratch holds the reusable working storage of one Flush. It is
+// recycled through a sync.Pool so steady-state rendering (a flush per
+// frame) allocates almost nothing.
+type flushScratch struct {
+	pts   []pointSetup
+	lns   []lineSetup
+	tris  []triSetup
+	offs  []int
+	pairs []sortx.KV
+	sscr  []sortx.KV
+	runs  []tileRun
+	frags []int64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(flushScratch) }}
+
+// grow returns s resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	return (*s)[:n]
+}
+
+// tileSpan counts the tiles a screen bounding box covers.
+func tileSpan(x0, y0, x1, y1 int) int {
+	return (x1/TileSize - x0/TileSize + 1) * (y1/TileSize - y0/TileSize + 1)
+}
+
+// Flush projects, bins and rasterizes every batched primitive, then
+// empties the batch. The phases all run on r.Workers goroutines
+// (0 = par.Workers()):
+//
+//  1. setup — primitives are projected and screen-culled in parallel;
+//     every primitive owns a fixed slot in the setup arrays, so no
+//     ordering work is needed afterwards;
+//  2. binning — each visible record expands into (tile key, sequence)
+//     pairs which a stable sortx radix pass groups by tile, keeping
+//     submission order inside every tile;
+//  3. tiles — each tile's primitives are replayed in order by its
+//     owning worker through the same raster kernels the immediate
+//     path uses, clipped to the tile rect.
+//
+// Every pixel belongs to exactly one tile, so no two workers touch the
+// same framebuffer word and the fragment sequence per pixel equals the
+// serial path's — the image is bit-identical at every worker count.
+func (b *Batch) Flush() {
+	r := b.r
+	n := len(b.prims)
+	if n == 0 {
+		return
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	if workers == 1 {
+		// One worker gains nothing from binning: replay the submission
+		// immediately. The immediate methods ARE the reference the
+		// tile path reproduces, so the output is identical.
+		b.flushSerial()
+		return
+	}
+	sc := scratchPool.Get().(*flushScratch)
+
+	// Phase 1 — parallel setup into slot-indexed arrays. offs[i+1]
+	// temporarily holds prim i's pair count; invalid triangle fan
+	// slots carry an empty-bbox sentinel (x1 < x0).
+	pts := grow(&sc.pts, len(b.points))
+	lns := grow(&sc.lns, len(b.lines))
+	tris := grow(&sc.tris, 2*len(b.tris))
+	offs := grow(&sc.offs, n+1)
+	nw := workers
+	if nw > n {
+		nw = n
+	}
+	chunk := (n + nw - 1) / nw
+	stats := make([][3]int64, nw)
+	par.ForChunks(n, nw, func(lo, hi int) {
+		st := &stats[lo/chunk]
+		var clipBuf [4]clipVert
+		for i := lo; i < hi; i++ {
+			pr := b.prims[i]
+			cnt := 0
+			switch pr.kind {
+			case kindPoint:
+				pp := &b.points[pr.idx]
+				s := &pts[pr.idx]
+				projected, visible := r.setupPoint(pp.pos, pp.radius, pp.color, s)
+				if projected {
+					st[0]++
+					if visible {
+						cnt = tileSpan(s.x0, s.y0, s.x1, s.y1)
+					}
+				}
+			case kindLine:
+				lp := &b.lines[pr.idx]
+				s := &lns[pr.idx]
+				drawn, visible := r.setupLine(lp.p0, lp.p1, lp.width, lp.c0, lp.c1, s)
+				if drawn {
+					st[1]++
+					if visible {
+						cnt = tileSpan(s.x0, s.y0, s.x1, s.y1)
+					}
+				}
+			case kindTri:
+				st[2]++
+				tris[2*pr.idx].x0, tris[2*pr.idx].x1 = 0, -1
+				tris[2*pr.idx+1].x0, tris[2*pr.idx+1].x1 = 0, -1
+				tp := b.tris[pr.idx]
+				clipped := r.clipTriangle(b.verts[tp.i0], b.verts[tp.i1], b.verts[tp.i2], clipBuf[:])
+				sub := 0
+				for j := 1; j+1 < len(clipped) && sub < 2; j++ {
+					s := &tris[2*pr.idx+int32(sub)]
+					if r.setupTriangle(clipped[0], clipped[j], clipped[j+1], s) {
+						cnt += tileSpan(s.x0, s.y0, s.x1, s.y1)
+						sub++
+					} else {
+						s.x0, s.x1 = 0, -1
+					}
+				}
+			}
+			offs[i+1] = cnt
+		}
+	})
+	for _, st := range stats {
+		r.PointCount += st[0]
+		r.LineCount += st[1]
+		r.TriangleCount += st[2]
+	}
+
+	// Prefix-sum pair counts into offsets.
+	offs[0] = 0
+	for i := 0; i < n; i++ {
+		offs[i+1] += offs[i]
+	}
+	nPairs := offs[n]
+	if nPairs == 0 {
+		b.reset()
+		scratchPool.Put(sc)
+		return
+	}
+
+	// Phase 2 — expand records into (tile, sequence) pairs and group
+	// them by tile with the stable radix sort. The sequence value
+	// encodes (prim index, fan slot), so ascending order inside a tile
+	// is exactly submission order.
+	tw := (r.FB.W + TileSize - 1) / TileSize
+	pairs := grow(&sc.pairs, nPairs)
+	emitPairs := func(o int, x0, y0, x1, y1 int, seq int64) int {
+		for ty := y0 / TileSize; ty <= y1/TileSize; ty++ {
+			for tx := x0 / TileSize; tx <= x1/TileSize; tx++ {
+				pairs[o] = sortx.KV{K: uint64(ty*tw + tx), V: seq}
+				o++
+			}
+		}
+		return o
+	}
+	par.ForChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o := offs[i]
+			if offs[i+1] == o {
+				continue
+			}
+			pr := b.prims[i]
+			switch pr.kind {
+			case kindPoint:
+				s := &pts[pr.idx]
+				emitPairs(o, s.x0, s.y0, s.x1, s.y1, int64(i)<<1)
+			case kindLine:
+				s := &lns[pr.idx]
+				emitPairs(o, s.x0, s.y0, s.x1, s.y1, int64(i)<<1)
+			case kindTri:
+				for sub := 0; sub < 2; sub++ {
+					s := &tris[2*pr.idx+int32(sub)]
+					if s.x1 < s.x0 {
+						continue
+					}
+					o = emitPairs(o, s.x0, s.y0, s.x1, s.y1, int64(i)<<1|int64(sub))
+				}
+			}
+		}
+	})
+	sscr := grow(&sc.sscr, nPairs)
+	sortx.PairsScratch(pairs, sscr, workers)
+
+	// Tile run boundaries over the sorted pairs.
+	runs := sc.runs[:0]
+	lo := 0
+	for i := 1; i <= nPairs; i++ {
+		if i == nPairs || pairs[i].K != pairs[lo].K {
+			runs = append(runs, tileRun{lo, i})
+			lo = i
+		}
+	}
+	sc.runs = runs
+
+	// Phase 3 — rasterize tiles concurrently, one owner per tile.
+	if r.fragmentSink != nil {
+		r.fragmentSink.beginShards(len(runs))
+	}
+	frags := grow(&sc.frags, len(runs))
+	par.ForChunks(len(runs), workers, func(rlo, rhi int) {
+		for ri := rlo; ri < rhi; ri++ {
+			run := runs[ri]
+			tile := int(pairs[run.lo].K)
+			tx, ty := tile%tw, tile/tw
+			e := emitCtx{
+				r:     r,
+				x0:    tx * TileSize,
+				y0:    ty * TileSize,
+				x1:    min(tx*TileSize+TileSize-1, r.FB.W-1),
+				y1:    min(ty*TileSize+TileSize-1, r.FB.H-1),
+				shard: ri,
+			}
+			for pi := run.lo; pi < run.hi; pi++ {
+				seq := pairs[pi].V
+				pr := b.prims[seq>>1]
+				switch pr.kind {
+				case kindPoint:
+					rasterPoint(&pts[pr.idx], &e)
+				case kindLine:
+					rasterLine(&lns[pr.idx], &e)
+				case kindTri:
+					rasterTriangle(&tris[2*pr.idx+int32(seq&1)], &e)
+				}
+			}
+			frags[ri] = e.frags
+		}
+	})
+	if r.fragmentSink != nil {
+		r.fragmentSink.endShards()
+	}
+	for _, f := range frags {
+		r.FragmentCount += f
+	}
+	b.reset()
+	scratchPool.Put(sc)
+}
+
+// flushSerial replays the batch through the immediate-mode path — the
+// single-worker fallback.
+func (b *Batch) flushSerial() {
+	r := b.r
+	for _, pr := range b.prims {
+		switch pr.kind {
+		case kindPoint:
+			pp := &b.points[pr.idx]
+			r.DrawPoint(pp.pos, pp.radius, pp.color)
+		case kindLine:
+			lp := &b.lines[pr.idx]
+			r.DrawLine(lp.p0, lp.p1, lp.width, lp.c0, lp.c1)
+		case kindTri:
+			tp := b.tris[pr.idx]
+			r.DrawTriangle(b.verts[tp.i0], b.verts[tp.i1], b.verts[tp.i2])
+		}
+	}
+	b.reset()
+}
+
+// batchPool recycles the batches behind the typed entry points so a
+// flush per frame reuses its submission buffers.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+func getBatch(r *Rasterizer) *Batch {
+	b := batchPool.Get().(*Batch)
+	b.r = r
+	return b
+}
+
+func putBatch(b *Batch) {
+	b.r = nil
+	batchPool.Put(b)
+}
+
+// DrawPointBatch splats every point through the tile-parallel backend;
+// equivalent to calling DrawPoint for each splat in order.
+//
+// This is the hybrid viewer's hot path, so it skips the generic batch
+// machinery: point setup is a couple of matrix applies, cheap enough
+// to recompute per phase directly from the caller's slice, which
+// keeps the flush free of per-splat intermediate storage (only the
+// tile pairs are materialized).
+func (r *Rasterizer) DrawPointBatch(splats []PointSplat) {
+	n := len(splats)
+	if n == 0 {
+		return
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	if workers == 1 {
+		for i := range splats {
+			r.DrawPoint(splats[i].Pos, splats[i].Radius, splats[i].Color)
+		}
+		return
+	}
+	sc := scratchPool.Get().(*flushScratch)
+
+	// Pass 1 — project, cull, and count covered tiles per splat.
+	offs := grow(&sc.offs, n+1)
+	nw := workers
+	if nw > n {
+		nw = n
+	}
+	chunk := (n + nw - 1) / nw
+	stats := make([]int64, nw)
+	par.ForChunks(n, nw, func(lo, hi int) {
+		var s pointSetup
+		count := int64(0)
+		for i := lo; i < hi; i++ {
+			sp := &splats[i]
+			cnt := 0
+			projected, visible := r.setupPoint(sp.Pos, sp.Radius, sp.Color, &s)
+			if projected {
+				count++
+				if visible {
+					cnt = tileSpan(s.x0, s.y0, s.x1, s.y1)
+				}
+			}
+			offs[i+1] = cnt
+		}
+		stats[lo/chunk] = count
+	})
+	for _, c := range stats {
+		r.PointCount += c
+	}
+	offs[0] = 0
+	for i := 0; i < n; i++ {
+		offs[i+1] += offs[i]
+	}
+	nPairs := offs[n]
+	if nPairs == 0 {
+		scratchPool.Put(sc)
+		return
+	}
+
+	// Pass 2 — expand into (tile, splat) pairs and group by tile.
+	tw := (r.FB.W + TileSize - 1) / TileSize
+	pairs := grow(&sc.pairs, nPairs)
+	par.ForChunks(n, workers, func(lo, hi int) {
+		var s pointSetup
+		for i := lo; i < hi; i++ {
+			o := offs[i]
+			if offs[i+1] == o {
+				continue
+			}
+			sp := &splats[i]
+			r.setupPoint(sp.Pos, sp.Radius, sp.Color, &s)
+			for ty := s.y0 / TileSize; ty <= s.y1/TileSize; ty++ {
+				for tx := s.x0 / TileSize; tx <= s.x1/TileSize; tx++ {
+					pairs[o] = sortx.KV{K: uint64(ty*tw + tx), V: int64(i)}
+					o++
+				}
+			}
+		}
+	})
+	sscr := grow(&sc.sscr, nPairs)
+	sortx.PairsScratch(pairs, sscr, workers)
+	runs := sc.runs[:0]
+	lo := 0
+	for i := 1; i <= nPairs; i++ {
+		if i == nPairs || pairs[i].K != pairs[lo].K {
+			runs = append(runs, tileRun{lo, i})
+			lo = i
+		}
+	}
+	sc.runs = runs
+
+	// Pass 3 — rasterize tiles concurrently, replaying each tile's
+	// splats in submission order.
+	if r.fragmentSink != nil {
+		r.fragmentSink.beginShards(len(runs))
+	}
+	frags := grow(&sc.frags, len(runs))
+	par.ForChunks(len(runs), workers, func(rlo, rhi int) {
+		var s pointSetup
+		for ri := rlo; ri < rhi; ri++ {
+			run := runs[ri]
+			tile := int(pairs[run.lo].K)
+			tx, ty := tile%tw, tile/tw
+			e := emitCtx{
+				r:     r,
+				x0:    tx * TileSize,
+				y0:    ty * TileSize,
+				x1:    min(tx*TileSize+TileSize-1, r.FB.W-1),
+				y1:    min(ty*TileSize+TileSize-1, r.FB.H-1),
+				shard: ri,
+			}
+			for pi := run.lo; pi < run.hi; pi++ {
+				sp := &splats[pairs[pi].V]
+				r.setupPoint(sp.Pos, sp.Radius, sp.Color, &s)
+				rasterPoint(&s, &e)
+			}
+			frags[ri] = e.frags
+		}
+	})
+	if r.fragmentSink != nil {
+		r.fragmentSink.endShards()
+	}
+	for _, f := range frags {
+		r.FragmentCount += f
+	}
+	scratchPool.Put(sc)
+}
+
+// DrawLineBatch draws every segment through the tile-parallel backend;
+// equivalent to calling DrawLine for each segment in order.
+func (r *Rasterizer) DrawLineBatch(segs []LineSeg) {
+	b := getBatch(r)
+	for _, s := range segs {
+		b.Line(s.P0, s.P1, s.Width, s.C0, s.C1)
+	}
+	b.Flush()
+	putBatch(b)
+}
+
+// DrawTriangleBatch draws a flat triangle list (three vertices per
+// triangle) through the tile-parallel backend.
+func (r *Rasterizer) DrawTriangleBatch(tris []Vertex) {
+	b := getBatch(r)
+	for i := 0; i+2 < len(tris); i += 3 {
+		b.Triangle(tris[i], tris[i+1], tris[i+2])
+	}
+	b.Flush()
+	putBatch(b)
+}
+
+// DrawTriangleStripBatch draws the given strips, in order, through the
+// tile-parallel backend; equivalent to DrawTriangleStrip per strip.
+func (r *Rasterizer) DrawTriangleStripBatch(strips [][]Vertex) {
+	b := getBatch(r)
+	for _, s := range strips {
+		b.TriangleStrip(s)
+	}
+	b.Flush()
+	putBatch(b)
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fieldline"
 	"repro/internal/hybrid"
+	"repro/internal/par"
 	"repro/internal/render"
 	"repro/internal/vec"
 )
@@ -88,6 +89,9 @@ type RenderOptions struct {
 	// TechTransparent; context outside is drawn semi-transparent.
 	FocusCenter vec.V3
 	FocusRadius float64
+	// Workers bounds the tile-rasterizer parallelism (0 = auto). The
+	// image is identical at every count.
+	Workers int
 }
 
 // DefaultOptions returns sensible options for the given scene scale.
@@ -121,6 +125,7 @@ func RenderLines(fb *render.Framebuffer, cam render.Camera, lines []*fieldline.L
 
 	start := time.Now()
 	rast := render.NewRasterizer(fb, cam)
+	rast.Workers = opts.Workers
 	headlight := render.Light{Dir: cam.Eye.Norm(), Color: hybrid.RGBA{R: 1, G: 1, B: 1, A: 1}, Intensity: 1}
 	lights := []render.Light{headlight}
 	if tech == TechEnhanced {
@@ -131,41 +136,56 @@ func RenderLines(fb *render.Framebuffer, cam render.Camera, lines []*fieldline.L
 	}
 	mat := render.DefaultPhong()
 
+	// buildStrips assembles strips concurrently (BuildStrip is a pure
+	// function of one line) in the given submission order.
+	buildStrips := func(ls []*fieldline.Line, order []int, params StripParams) [][]render.Vertex {
+		strips := make([][]render.Vertex, len(order))
+		par.For(len(order), opts.Workers, func(k int) {
+			strips[k] = BuildStrip(ls[order[k]], cam.Eye, params)
+		})
+		return strips
+	}
+
 	drawStrips := func(ls []*fieldline.Line, shader render.Shader, params StripParams, blend render.BlendMode) {
 		rast.Mode = blend
 		rast.Shade = shader
-		order := SortByDepth(ls, cam.Eye)
-		for _, i := range order {
-			strip := BuildStrip(ls[i], cam.Eye, params)
-			rast.DrawTriangleStrip(strip)
-		}
+		rast.DrawTriangleStripBatch(buildStrips(ls, SortByDepth(ls, cam.Eye), params))
 	}
 
 	switch tech {
 	case TechLines, TechDense:
+		var segs []render.LineSeg
 		for _, l := range lines {
 			for i := 1; i < l.NumPoints(); i++ {
-				rast.DrawLine(l.Points[i-1], l.Points[i], 1, opts.Color, opts.Color)
+				segs = append(segs, render.LineSeg{P0: l.Points[i-1], P1: l.Points[i], Width: 1, C0: opts.Color, C1: opts.Color})
 			}
 		}
+		rast.DrawLineBatch(segs)
 
 	case TechIlluminated:
+		var segs []render.LineSeg
 		for _, l := range lines {
 			for i := 1; i < l.NumPoints(); i++ {
 				c0 := render.IlluminatedLineColor(opts.Color, l.Tangents[i-1], headlight.Dir, cam.ViewDir(l.Points[i-1]), mat)
 				c1 := render.IlluminatedLineColor(opts.Color, l.Tangents[i], headlight.Dir, cam.ViewDir(l.Points[i]), mat)
-				rast.DrawLine(l.Points[i-1], l.Points[i], 1, c0, c1)
+				segs = append(segs, render.LineSeg{P0: l.Points[i-1], P1: l.Points[i], Width: 1, C0: c0, C1: c1})
 			}
 		}
+		rast.DrawLineBatch(segs)
 
 	case TechStreamtubes:
 		rast.Shade = render.PhongShader(lights, mat)
-		for _, l := range lines {
-			tube := BuildTube(l, opts.Width/2, opts.TubeSides, opts.Color)
+		tubes := make([][]render.Vertex, len(lines))
+		par.For(len(lines), opts.Workers, func(i int) {
+			tubes[i] = BuildTube(lines[i], opts.Width/2, opts.TubeSides, opts.Color)
+		})
+		batch := rast.NewBatch()
+		for _, tube := range tubes {
 			for i := 0; i+2 < len(tube); i += 3 {
-				rast.DrawTriangle(tube[i], tube[i+1], tube[i+2])
+				batch.Triangle(tube[i], tube[i+1], tube[i+2])
 			}
 		}
+		batch.Flush()
 
 	case TechSOS, TechEnhanced:
 		drawStrips(lines, render.TubeShader(lights, mat, opts.HaloStart),
@@ -216,15 +236,19 @@ func RenderLines(fb *render.Framebuffer, cam render.Camera, lines []*fieldline.L
 			render.BlendOpaque)
 		if tech == TechTransparentOIT {
 			oit := render.NewOITBuffer(fb.W, fb.H)
+			oit.Workers = opts.Workers
 			restore := rast.AttachOIT(oit)
 			rast.Mode = render.BlendAlpha
 			rast.Shade = render.PhongShader(lights, mat)
 			// Submission order deliberately unsorted: correctness comes
-			// from the resolve.
-			for _, l := range context {
-				rast.DrawTriangleStrip(BuildStrip(l, cam.Eye,
-					StripParams{Width: opts.Width, Color: ctxColor}))
+			// from the resolve. The batched draw captures fragments into
+			// per-tile OIT buckets concurrently.
+			order := make([]int, len(context))
+			for i := range order {
+				order[i] = i
 			}
+			rast.DrawTriangleStripBatch(buildStrips(context, order,
+				StripParams{Width: opts.Width, Color: ctxColor}))
 			restore()
 			oit.Resolve(fb)
 		} else {

@@ -217,11 +217,13 @@ func RenderHybridDynamic(rep *hybrid.Representation, tf *hybrid.LinkedTF,
 	}
 	rast := render.NewRasterizer(fb, cam)
 	rast.Mode = render.BlendOpaque
+	splats := make([]render.PointSplat, len(sel))
 	for k, i := range sel {
 		c := attrMap.Eval((vals[k] - lo) / span)
 		c.A = 1
-		rast.DrawPoint(rep.Points[i], pointSize, c)
+		splats[k] = render.PointSplat{Pos: rep.Points[i], Radius: pointSize, Color: c}
 	}
+	rast.DrawPointBatch(splats)
 	vr, err := New(rep.Volume, tf)
 	if err != nil {
 		return nil, nil, err
@@ -243,7 +245,11 @@ func RenderHybrid(rep *hybrid.Representation, tf *hybrid.LinkedTF,
 	rast := render.NewRasterizer(fb, cam)
 	rast.Mode = render.BlendOpaque
 	sel := rep.SelectPoints(tf)
-	for _, i := range sel {
+	// The halo points go through the tile-binned parallel backend: the
+	// splat batch is projected, binned and rasterized on all cores with
+	// output bit-identical to serial DrawPoint calls in this order.
+	splats := make([]render.PointSplat, len(sel))
+	for k, i := range sel {
 		d := tf.MapDensity(float64(rep.PointDensity[i]))
 		c := tf.Color.Eval(d)
 		if !opaquePoints {
@@ -251,8 +257,9 @@ func RenderHybrid(rep *hybrid.Representation, tf *hybrid.LinkedTF,
 		} else {
 			c.A = 1
 		}
-		rast.DrawPoint(rep.Points[i], pointSize, c)
+		splats[k] = render.PointSplat{Pos: rep.Points[i], Radius: pointSize, Color: c}
 	}
+	rast.DrawPointBatch(splats)
 
 	vr, err := New(rep.Volume, tf)
 	if err != nil {

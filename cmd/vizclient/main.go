@@ -1,0 +1,150 @@
+// Command vizclient is the thin client of the visualization service:
+// the program on "a scientist's desk thousands of miles away". It can
+// list the server's frames, fetch one and render it locally, ask the
+// server to render (shipping a ~kB RLE image instead of a ~MB frame),
+// or follow a live in-situ run, rendering every new frame as the
+// simulation publishes it.
+//
+// Usage:
+//
+//	vizclient -addr HOST:9920 -list
+//	vizclient -addr HOST:9920 -fetch 3 -out frame3.png
+//	vizclient -addr HOST:9920 -render 3 -out frame3.png
+//	vizclient -addr HOST:9920 -follow -out live.png
+//
+// -bw models the wide-area link in bytes/s (0 = unthrottled), printing
+// the transfer economics the hybrid representation is designed around.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vizclient: ")
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9920", "service address")
+		list   = flag.Bool("list", false, "list the server's frames")
+		fetch  = flag.Int("fetch", -1, "fetch this frame and render locally")
+		rend   = flag.Int("render", -1, "render this frame server-side")
+		follow = flag.Bool("follow", false, "subscribe and server-render every new frame")
+		out    = flag.String("out", "frame.png", "output PNG (follow mode: _NNNN inserted)")
+		size   = flag.Int("size", 512, "image size in pixels (square)")
+		view   = flag.String("view", "0.4,0.3,1", "view direction dx,dy,dz")
+		bw     = flag.Int64("bw", 0, "modeled link bandwidth in bytes/s (0 = unthrottled)")
+	)
+	flag.Parse()
+
+	dir, err := parseVec(*view)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli, err := remote.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetBandwidth(*bw)
+
+	switch {
+	case *list:
+		li, err := cli.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "static"
+		if li.Live {
+			mode = "live"
+		}
+		fmt.Printf("%s: %d frames (index %d..%d), %s\n", *addr, li.Frames-li.First, li.First, li.Frames-1, mode)
+
+	case *fetch >= 0:
+		rep, size2, took, err := cli.FetchFrame(*fetch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("frame %d: %.2f MB in %v (%.2f MB/s)\n",
+			*fetch, float64(size2)/1e6, took, float64(size2)/took.Seconds()/1e6)
+		tf, err := core.DefaultTF(rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb, _, _, err := core.RenderFrame(rep, tf, *size, *size, dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writePNG(fb.WritePNG, *out)
+
+	case *rend >= 0:
+		fb, wire, took, err := cli.Render(remote.RenderParams{
+			Frame: *rend, Width: *size, Height: *size, ViewDir: dir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("frame %d: server-rendered, %.3f MB image in %v\n",
+			*rend, float64(wire)/1e6, took)
+		writePNG(fb.WritePNG, *out)
+
+	case *follow:
+		sub, err := cli.Subscribe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sub.Close()
+		rendered := 0
+		for frames := range sub.Updates {
+			if frames == 0 {
+				continue
+			}
+			idx := frames - 1 // latest
+			fb, wire, took, err := cli.Render(remote.RenderParams{
+				Frame: idx, Width: *size, Height: *size, ViewDir: dir,
+			})
+			if err != nil {
+				log.Printf("frame %d: %v", idx, err)
+				continue
+			}
+			dst := strings.TrimSuffix(*out, ".png") + fmt.Sprintf("_%04d.png", idx)
+			writePNG(fb.WritePNG, dst)
+			fmt.Printf("frame %d: %.3f MB image in %v -> %s\n", idx, float64(wire)/1e6, took, dst)
+			rendered++
+		}
+		fmt.Printf("feed closed after %d frames\n", rendered)
+
+	default:
+		log.Fatal("one of -list, -fetch, -render or -follow required")
+	}
+}
+
+func writePNG(write func(string) error, path string) {
+	if err := write(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func parseVec(s string) (vec.V3, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return vec.V3{}, fmt.Errorf("view %q must be dx,dy,dz", s)
+	}
+	var v [3]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return vec.V3{}, err
+		}
+		v[i] = f
+	}
+	return vec.New(v[0], v[1], v[2]), nil
+}

@@ -1,0 +1,124 @@
+// Command vizserve runs the visualization service — the server half of
+// the paper's remote setting, where hybrid frames live "where the
+// supercomputer lives" and scientists connect from thousands of miles
+// away. It serves one of the three store modes:
+//
+//	-dir DIR    serve the .achy frames of a directory (batch workflow)
+//	-live       run a beam simulation and publish each extracted frame
+//	            into a bounded latest-wins ring while serving it
+//	            (in-situ mode: clients subscribed with vizclient -follow
+//	            watch the run as it computes)
+//	(default)   precompute -frames hybrid frames in memory, then serve
+//
+// Usage:
+//
+//	vizserve -addr 127.0.0.1:9920 -live -frames 50 -particles 100000
+//	vizserve -dir ./frames
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/remote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vizserve: ")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9920", "listen address")
+		dir       = flag.String("dir", "", "serve .achy frames from this directory")
+		live      = flag.Bool("live", false, "simulate and publish frames while serving (in-situ)")
+		frames    = flag.Int("frames", 10, "frames to simulate")
+		particles = flag.Int("particles", 50_000, "particles in the simulation")
+		periods   = flag.Int("periods", 4, "lattice periods between frames")
+		volres    = flag.Int("volres", 32, "hybrid volume resolution per axis")
+		ring      = flag.Int("ring", 8, "live mode: frames retained in the latest-wins ring")
+	)
+	flag.Parse()
+
+	switch {
+	case *dir != "":
+		store, err := remote.NewDirStore(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serve(*addr, store, fmt.Sprintf("%d on-disk frames from %s", store.NumFrames(), *dir))
+
+	case *live:
+		lr, err := remote.NewLiveRing(*ring)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := remote.NewService(*addr, lr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("vizserve: in-situ service on %s (ring of %d frames)\n", srv.Addr(), *ring)
+
+		pp := core.NewParticlePipeline(*particles)
+		pp.Extract.VolumeRes = *volres
+		sim, err := pp.NewSim()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream := pp.StreamFrames(context.Background(),
+			core.SimSource(sim, *frames, *periods),
+			core.StreamOptions{Sink: lr})
+		for r := range stream.Out {
+			fmt.Printf("vizserve: published frame %d (%d halo points, %.2f MB)\n",
+				r.Index, r.Rep.NumPoints(), float64(r.Rep.SizeBytes())/1e6)
+		}
+		if err := stream.Wait(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("vizserve: simulation finished; still serving — Ctrl-C to stop")
+		waitInterrupt()
+		srv.Close()
+
+	default:
+		pp := core.NewParticlePipeline(*particles)
+		pp.Extract.VolumeRes = *volres
+		sim, err := pp.NewSim()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var reps []*hybrid.Representation
+		stream := pp.StreamFrames(context.Background(),
+			core.SimSource(sim, *frames, *periods), core.StreamOptions{})
+		for r := range stream.Out {
+			reps = append(reps, r.Rep)
+		}
+		if err := stream.Wait(); err != nil {
+			log.Fatal(err)
+		}
+		store, err := remote.NewMemStore(reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serve(*addr, store, fmt.Sprintf("%d precomputed frames", len(reps)))
+	}
+}
+
+func serve(addr string, store remote.FrameStore, what string) {
+	srv, err := remote.NewService(addr, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vizserve: serving %s on %s — Ctrl-C to stop\n", what, srv.Addr())
+	waitInterrupt()
+	srv.Close()
+}
+
+func waitInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}

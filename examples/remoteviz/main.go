@@ -1,20 +1,25 @@
-// Remoteviz demonstrates the remote-visualization setting the paper
-// motivates: hybrid frames are produced server-side (where the
-// supercomputer and the raw terabytes live), and a thin client on "a
-// scientist's desk thousands of miles away" streams and renders them.
-// The client link is throttled to model the wide-area network, showing
-// why the hybrid representation's compactness matters: the raw frame
-// would take proportionally longer by its size ratio.
+// Remoteviz demonstrates the visualization service in the remote
+// setting the paper motivates — but against a *live* pipeline: the
+// server side runs the beam simulation and publishes each extracted
+// hybrid frame into a bounded latest-wins ring while a subscribed
+// client consumes the run in both client modes:
+//
+// fetch-and-render-locally (download the hybrid frame over a
+// throttled wide-area link and render on the desktop — §2.5's
+// "10 seconds for a 100MB time step" economics) and render-remotely
+// (thin client: ship only camera parameters and receive an
+// RLE-compressed framebuffer rendered server-side, bit-identical to
+// the local render at a fraction of the bytes).
 //
 //	go run ./examples/remoteviz
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/hybrid"
 	"repro/internal/pario"
 	"repro/internal/remote"
 	"repro/internal/vec"
@@ -23,67 +28,118 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// Server side: simulate and extract three hybrid frames.
-	const particles = 30_000
+	// Server side: an in-situ service over a live-frame ring.
+	const (
+		particles = 30_000
+		nFrames   = 3
+		linkBps   = 20 << 20 // a 20 MB/s wide-area link
+	)
+	ring, err := remote.NewLiveRing(nFrames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := remote.NewService("127.0.0.1:0", ring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("server: in-situ service at %s\n", srv.Addr())
+
 	pp := core.NewParticlePipeline(particles)
 	pp.Extract.VolumeRes = 24
 	sim, err := pp.NewSim()
 	if err != nil {
 		log.Fatal(err)
 	}
-	var frames []*hybrid.Representation
-	for f := 0; f < 3; f++ {
-		sim.RunPeriods(6)
-		rep, err := pp.ProcessFrame(sim.Snapshot())
-		if err != nil {
-			log.Fatal(err)
-		}
-		frames = append(frames, rep)
-	}
-	srv, err := remote.NewServer("127.0.0.1:0", frames)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer srv.Close()
-	fmt.Printf("server: %d hybrid frames at %s\n", len(frames), srv.Addr())
+	stream := pp.StreamFrames(context.Background(),
+		core.SimSource(sim, nFrames, 6),
+		core.StreamOptions{Sink: ring})
 
-	// Client side: fetch over a throttled link and render.
+	// Client side: subscribe over a throttled link and consume the run
+	// while it computes.
 	cli, err := remote.Dial(srv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cli.Close()
-	const linkBps = 20 << 20 // a 20 MB/s wide-area link
-	cli.BandwidthBps = linkBps
-
-	n, err := cli.NumFrames()
+	cli.SetBandwidth(linkBps)
+	sub, err := cli.Subscribe()
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sub.Close()
+
+	// Surface a mid-run pipeline failure instead of blocking on a feed
+	// that will never deliver the final frame.
+	streamErr := make(chan error, 1)
+	go func() { streamErr <- stream.Wait() }()
+
+	viewDir := vec.New(0.4, 0.3, 1)
 	rawBytes := pario.FrameBytes(particles)
-	fmt.Printf("client: %d frames available; link %d MB/s\n\n", n, linkBps>>20)
-	for i := 0; i < n; i++ {
+	fmt.Printf("client: following live run; link %d MB/s\n\n", linkBps>>20)
+	seen := 0
+	for seenLast := false; !seenLast; {
+		var frames int
+		select {
+		case f, ok := <-sub.Updates:
+			if !ok {
+				log.Fatal("subscription feed closed before the final frame")
+			}
+			frames = f
+		case err := <-streamErr:
+			if err != nil {
+				log.Fatal(err)
+			}
+			streamErr = nil // clean finish: keep draining updates
+			continue
+		}
+		if frames == 0 {
+			continue // initial count before the first publish
+		}
+		i := frames - 1 // latest-wins: render the newest frame
+		seenLast = i == nFrames-1
+
+		// Mode 1: fetch the hybrid frame, render locally.
 		rep, size, took, err := cli.FetchFrame(i)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rawTime := remote.TransferEstimate(rawBytes, linkBps)
-		fmt.Printf("frame %d: %7.2f MB in %8v (raw %.2f MB would take %v — %.0fx longer)\n",
+		fmt.Printf("frame %d: fetched %7.2f MB in %8v (raw %.2f MB would take %v — %.0fx longer)\n",
 			i, float64(size)/1e6, took.Round(1000),
 			float64(rawBytes)/1e6, rawTime.Round(1000),
 			float64(rawBytes)/float64(size))
-
 		tf, err := core.DefaultTF(rep)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fb, _, _, err := core.RenderFrame(rep, tf, 256, 256, vec.New(0.4, 0.3, 1))
+		fb, _, _, err := core.RenderFrame(rep, tf, 256, 256, viewDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := fb.WritePNG(fmt.Sprintf("remoteviz_frame%d.png", i)); err != nil {
+		if err := fb.WritePNG(fmt.Sprintf("remoteviz_local%d.png", i)); err != nil {
+			log.Fatal(err)
+		}
+
+		// Mode 2: thin client — the server renders the same frame.
+		rfb, wire, rtook, err := cli.Render(remote.RenderParams{
+			Frame: i, Width: 256, Height: 256, ViewDir: viewDir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("frame %d: server-rendered %.3f MB image in %8v (%.0fx smaller than the frame)\n",
+			i, float64(wire)/1e6, rtook.Round(1000), float64(size)/float64(wire))
+		if err := rfb.WritePNG(fmt.Sprintf("remoteviz_remote%d.png", i)); err != nil {
+			log.Fatal(err)
+		}
+
+		seen++
+	}
+	if streamErr != nil {
+		if err := <-streamErr; err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Println("\nwrote remoteviz_frame*.png")
+	fmt.Printf("\nconsumed %d live frames; wrote remoteviz_local*.png and remoteviz_remote*.png\n", seen)
 }

@@ -139,7 +139,11 @@ func TestRemoteViewerIntegration(t *testing.T) {
 		}
 		frames = append(frames, rep)
 	}
-	srv, err := remote.NewServer("127.0.0.1:0", frames)
+	store, err := remote.NewMemStore(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := remote.NewService("127.0.0.1:0", store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,14 +154,13 @@ func TestRemoteViewerIntegration(t *testing.T) {
 	}
 	defer cli.Close()
 
-	cache, err := viewer.NewCache(len(frames), 1<<30, func(i int) (*hybrid.Representation, error) {
-		rep, _, _, err := cli.FetchFrame(i)
-		return rep, err
-	})
+	cache, err := viewer.NewCache(len(frames), 1<<30, cli.FrameLoader())
 	if err != nil {
 		t.Fatal(err)
 	}
-	player := viewer.NewPlayer(cache, 0) // no prefetch: one TCP conn is serial
+	// Prefetch 2 ahead: the multiplexed session overlaps the WAN
+	// fetches the prefetcher issues.
+	player := viewer.NewPlayer(cache, 2)
 	for i := 0; i < 4; i++ {
 		rep, err := player.Frame()
 		if err != nil {
@@ -172,15 +175,17 @@ func TestRemoteViewerIntegration(t *testing.T) {
 			}
 		}
 	}
+	player.Wait()
 	// Stepping back over visited frames is all cache hits.
-	missesBefore := cache.Misses
+	missesBefore := cache.Stats().Misses
 	for i := 0; i < 3; i++ {
 		if _, err := player.Step(-1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if cache.Misses != missesBefore {
-		t.Errorf("revisiting frames caused %d extra loads", cache.Misses-missesBefore)
+	player.Wait()
+	if misses := cache.Stats().Misses; misses != missesBefore {
+		t.Errorf("revisiting frames caused %d extra loads", misses-missesBefore)
 	}
 }
 

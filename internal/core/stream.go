@@ -71,6 +71,15 @@ func FrameFileSource(paths ...string) FrameSource {
 	}
 }
 
+// FrameSink is the write side of the visualization service: a
+// streaming pipeline publishes each extracted hybrid frame here, in
+// frame order, so remote viewers watch a running simulation (in-situ
+// mode). remote.LiveRing satisfies it; so does any collector. Publish
+// errors fail the stream.
+type FrameSink interface {
+	Publish(index int, rep *hybrid.Representation) error
+}
+
 // RenderOptions appends a render stage to a particle stream. Each
 // frame's point pass runs on the tile-binned parallel rasterizer, so
 // the stage parallelizes along two axes: Workers concurrent frames,
@@ -116,6 +125,13 @@ type StreamOptions struct {
 	// hybrid representation, so Render is incompatible with SkipExtract;
 	// StreamFrames rejects the combination.
 	Render *RenderOptions
+
+	// Sink, when non-nil, appends a publish stage after extraction:
+	// every hybrid frame is pushed into the sink in frame order (the
+	// in-situ mode — publish into a remote.LiveRing served by a
+	// remote.Service and clients watch the run live). Incompatible with
+	// SkipExtract.
+	Sink FrameSink
 }
 
 // StreamResult is the per-frame output of StreamFrames, emitted in
@@ -157,8 +173,8 @@ func (s *ParticleStream) RecycleFB(fb *render.Framebuffer) {
 // bit-identical to the serial one-shot path.
 func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, opts StreamOptions) *ParticleStream {
 	pl := pipeline.New(ctx)
-	if opts.SkipExtract && opts.Render != nil {
-		pl.Fail(fmt.Errorf("core: StreamOptions.Render requires extraction; unset SkipExtract"))
+	if opts.SkipExtract && (opts.Render != nil || opts.Sink != nil) {
+		pl.Fail(fmt.Errorf("core: StreamOptions.Render/Sink require extraction; unset SkipExtract"))
 		out := make(chan StreamResult)
 		close(out)
 		return &ParticleStream{Stream: pipeline.NewStream(pl, out)}
@@ -211,6 +227,19 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 				r.Rep = rep
 				if !opts.KeepTrees {
 					r.Tree = nil
+				}
+				return r, nil
+			})
+	}
+
+	if opts.Sink != nil {
+		// Single worker: publishes land in frame order, which live
+		// stores (remote.LiveRing) require.
+		out = pipeline.Map(pl, out,
+			pipeline.StageConfig{Name: "publish", Buf: buf},
+			func(_ context.Context, r StreamResult) (StreamResult, error) {
+				if err := opts.Sink.Publish(r.Index, r.Rep); err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
 				}
 				return r, nil
 			})
@@ -291,6 +320,16 @@ type FieldStreamOptions struct {
 	Buffer          int     // inter-stage channel depth in frames (0 = 1)
 
 	Render *FieldRenderOptions // non-nil appends a render stage
+
+	// Sink, when non-nil, appends a publish stage after tracing: each
+	// frame's traced lines are flattened into a compact hybrid
+	// representation (LineCloudRep) and published in frame order, so
+	// the same remote service that serves particle runs can
+	// live-monitor a field solve.
+	Sink FrameSink
+	// SinkVolumeRes sizes the published line-cloud density volume
+	// per axis (default 16).
+	SinkVolumeRes int
 }
 
 // FieldStreamResult is the per-frame output of StreamSolve.
@@ -357,6 +396,29 @@ func (p *FieldPipeline) StreamSolve(ctx context.Context, opts FieldStreamOptions
 		})
 
 	out := lines
+	if opts.Sink != nil {
+		res := opts.SinkVolumeRes
+		if res < 2 {
+			res = 16
+		}
+		bounds := p.mesh.Bounds
+		out = pipeline.Map(pl, out,
+			pipeline.StageConfig{Name: "publish", Buf: buf},
+			func(_ context.Context, r FieldStreamResult) (FieldStreamResult, error) {
+				results := []*seeding.Result{r.E}
+				if r.B != nil {
+					results = append(results, r.B)
+				}
+				rep, err := LineCloudRep(bounds, res, results...)
+				if err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+				if err := opts.Sink.Publish(r.Index, rep); err != nil {
+					return r, fmt.Errorf("frame %d: %w", r.Index, err)
+				}
+				return r, nil
+			})
+	}
 	if opts.Render != nil {
 		ro := opts.Render.withDefaults()
 		out = pipeline.Map(pl, out,

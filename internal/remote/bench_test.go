@@ -1,0 +1,48 @@
+package remote
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// BenchmarkRemoteFetch tracks the protocol's transfer paths: full
+// frame fetch vs server-side render (the thin-client trade), each over
+// a local socket and over a modeled wide-area link. The throttled
+// numbers are dominated by the modeled bandwidth by design — they
+// exist so a perf regression in framing or compression shows up as a
+// changed bytes/op, and so the fetch:render wire-size ratio (the §2.5
+// economics) is recorded per run.
+func BenchmarkRemoteFetch(b *testing.B) {
+	reps := testReps(b, 1)
+	srv, store := serveMem(b, reps)
+	params := RenderParams{Frame: 0, Width: 128, Height: 128, ViewDir: vec.New(0.4, 0.3, 1)}
+	// A link fast enough to keep the bench smoke quick, slow enough to
+	// dominate scheduling noise: ~5ms per frame at this test scale.
+	throttle := store.FrameBytes(0) * 200
+
+	run := func(name string, bps int64, fetch bool) {
+		b.Run(name, func(b *testing.B) {
+			cli := dial(b, srv.Addr())
+			cli.SetBandwidth(bps)
+			var wire int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if fetch {
+					_, wire, _, err = cli.FetchFrame(0)
+				} else {
+					_, wire, _, err = cli.Render(params)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(wire)
+		})
+	}
+	run("fetch/local", 0, true)
+	run("fetch/throttled", throttle, true)
+	run("render/local", 0, false)
+	run("render/throttled", throttle, false)
+}

@@ -1,0 +1,350 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hybrid"
+	"repro/internal/render"
+)
+
+// Client is one session against a Service. A single TCP connection
+// carries any number of concurrent requests — each tagged with a
+// request ID and matched to its response by a background read loop —
+// so a prefetching viewer overlaps WAN fetches instead of serializing
+// them. Methods are safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+
+	bandwidthBps atomic.Int64
+
+	mu      sync.Mutex
+	pending map[uint64]chan message
+	subs    map[uint64]*Subscription
+	nextID  uint64
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects and runs the version handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	if err := clientHello(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 1<<16),
+		pending: make(map[uint64]chan message),
+		subs:    make(map[uint64]*Subscription),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// SetBandwidth throttles response reads to bps bytes per second,
+// modeling the wide-area link (<= 0 disables).
+func (c *Client) SetBandwidth(bps int64) { c.bandwidthBps.Store(bps) }
+
+// Close severs the connection; in-flight requests fail promptly.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop routes every inbound message to its requester (or
+// subscription) until the connection dies.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 1<<16)
+	for {
+		msg, err := readMessage(br, c.bandwidthBps.Load())
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = fmt.Errorf("remote: connection lost: %w", err)
+			c.mu.Unlock()
+			close(c.done)
+			return
+		}
+		if msg.op == opNotify {
+			if len(msg.payload) != 8 {
+				continue
+			}
+			frames := int(binary.LittleEndian.Uint64(msg.payload))
+			c.mu.Lock()
+			sub := c.subs[msg.reqID]
+			c.mu.Unlock()
+			if sub != nil {
+				sub.deliver(frames)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[msg.reqID]
+		delete(c.pending, msg.reqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- msg // buffered; never blocks
+		}
+	}
+}
+
+// roundTrip sends one request and waits for its response, translating
+// opError replies.
+func (c *Client) roundTrip(op byte, payload []byte) (message, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return message{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeMessage(c.bw, id, op, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return message{}, err
+	}
+
+	select {
+	case msg := <-ch:
+		return checkResponse(msg)
+	case <-c.done:
+		// The read loop may have delivered the response just before
+		// the connection died; prefer it over the connection error.
+		select {
+		case msg := <-ch:
+			return checkResponse(msg)
+		default:
+		}
+		c.mu.Lock()
+		err := c.readErr
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return message{}, err
+	}
+}
+
+// checkResponse translates opError replies.
+func checkResponse(msg message) (message, error) {
+	if msg.op == opError {
+		return message{}, fmt.Errorf("remote: server error: %s", msg.payload)
+	}
+	return msg, nil
+}
+
+// List returns the server's frame range and liveness.
+func (c *Client) List() (ListInfo, error) {
+	msg, err := c.roundTrip(opList, nil)
+	if err != nil {
+		return ListInfo{}, err
+	}
+	if msg.op != opListOK {
+		return ListInfo{}, fmt.Errorf("remote: unexpected list response %#02x", msg.op)
+	}
+	return decodeListInfo(msg.payload)
+}
+
+// NumFrames returns the server's current frame count.
+func (c *Client) NumFrames() (int, error) {
+	li, err := c.List()
+	return li.Frames, err
+}
+
+// FetchFrame downloads and decodes frame i, returning the
+// representation, the transfer size and the (throttled) elapsed time —
+// the "10 seconds for a 100MB time step" measurement of §2.5.
+func (c *Client) FetchFrame(i int) (*hybrid.Representation, int64, time.Duration, error) {
+	start := time.Now()
+	payload := make([]byte, 4)
+	binary.LittleEndian.PutUint32(payload, uint32(i))
+	msg, err := c.roundTrip(opGet, payload)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if msg.op != opGetOK {
+		return nil, 0, 0, fmt.Errorf("remote: unexpected get response %#02x", msg.op)
+	}
+	rep, err := hybrid.Read(bytes.NewReader(msg.payload))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return rep, int64(len(msg.payload)), time.Since(start), nil
+}
+
+// FrameLoader adapts the client to the viewer's Loader signature. The
+// connection multiplexes requests, so the viewer's prefetcher issues
+// overlapping fetches on this one session.
+func (c *Client) FrameLoader() func(i int) (*hybrid.Representation, error) {
+	return func(i int) (*hybrid.Representation, error) {
+		rep, _, _, err := c.FetchFrame(i)
+		return rep, err
+	}
+}
+
+// Render asks the server to render frame p.Frame with the given camera
+// and transfer-function parameters — the thin-client mode. It returns
+// the decoded framebuffer (bit-identical to rendering the fetched
+// frame locally), the compressed wire size, and the (throttled)
+// elapsed time.
+func (c *Client) Render(p RenderParams) (*render.Framebuffer, int64, time.Duration, error) {
+	start := time.Now()
+	msg, err := c.roundTrip(opRender, encodeRenderParams(p))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if msg.op != opRenderOK {
+		return nil, 0, 0, fmt.Errorf("remote: unexpected render response %#02x", msg.op)
+	}
+	fb, err := render.DecompressFramebuffer(msg.payload)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return fb, int64(len(msg.payload)), time.Since(start), nil
+}
+
+// Subscription is a live feed of the server's frame count. Updates is
+// latest-wins: a slow consumer sees the most recent count, not a
+// backlog, mirroring the server's no-backpressure contract.
+type Subscription struct {
+	// Updates carries the server's frame count: first the count at
+	// subscribe time, then a value per publish (collapsed under load).
+	// It closes when the subscription or connection ends.
+	Updates <-chan int
+
+	ch     chan int
+	done   chan struct{} // closed by Close; ends the connection watchdog
+	cancel func()
+	mu     sync.Mutex
+	last   int // highest count delivered; duplicates and regressions drop
+	closed bool
+}
+
+// Subscribe registers for live-frame notifications. On a static store
+// the channel sees one update (the current count) and nothing more.
+func (c *Client) Subscribe() (*Subscription, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan message, 1)
+	c.pending[id] = ch
+	sub := &Subscription{ch: make(chan int, 1), done: make(chan struct{}), last: -1}
+	sub.Updates = sub.ch
+	sub.cancel = func() {
+		c.mu.Lock()
+		if c.subs[id] == sub {
+			delete(c.subs, id)
+		}
+		c.mu.Unlock()
+	}
+	c.subs[id] = sub
+	c.mu.Unlock()
+
+	// Close the feed when the connection dies; the watchdog itself
+	// ends when the subscription closes first.
+	go func() {
+		select {
+		case <-c.done:
+			sub.Close()
+		case <-sub.done:
+		}
+	}()
+
+	c.wmu.Lock()
+	err := writeMessage(c.bw, id, opSubscribe, nil)
+	c.wmu.Unlock()
+	if err != nil {
+		sub.Close()
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	accept := func(msg message) (*Subscription, error) {
+		if msg.op == opError {
+			sub.Close()
+			return nil, fmt.Errorf("remote: server error: %s", msg.payload)
+		}
+		if msg.op != opSubscribeOK || len(msg.payload) != 8 {
+			sub.Close()
+			return nil, fmt.Errorf("remote: unexpected subscribe response %#02x", msg.op)
+		}
+		sub.deliver(int(binary.LittleEndian.Uint64(msg.payload)))
+		return sub, nil
+	}
+	select {
+	case msg := <-ch:
+		return accept(msg)
+	case <-c.done:
+		// Prefer a response that arrived before the connection died.
+		select {
+		case msg := <-ch:
+			return accept(msg)
+		default:
+		}
+		sub.Close()
+		c.mu.Lock()
+		err := c.readErr
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+// deliver pushes a count latest-wins: if the consumer hasn't drained
+// the previous value, it is replaced. Counts are monotonic — a stale
+// value (e.g. the Subscribe response racing a newer pushed notify onto
+// the wire) never overwrites a higher one.
+func (s *Subscription) deliver(frames int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || frames <= s.last {
+		return
+	}
+	s.last = frames
+	for {
+		select {
+		case s.ch <- frames:
+			return
+		default:
+			select {
+			case <-s.ch:
+			default:
+			}
+		}
+	}
+}
+
+// Close unregisters the subscription and closes Updates.
+func (s *Subscription) Close() {
+	s.cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+		close(s.done)
+	}
+}

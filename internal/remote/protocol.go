@@ -1,0 +1,297 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// Wire protocol v1. Every connection starts with a handshake:
+//
+//	client → server: magic "ACVP" | u32 version
+//	server → client: magic "ACVP" | u32 version | u32 flags
+//
+// after which both directions exchange length-prefixed, CRC-framed
+// messages (the same trailing-CRC idiom as pario's file formats, so
+// corrupt or truncated transfers are detected):
+//
+//	u32 len(body) | body | u32 crc32(body)
+//	body = u64 requestID | u8 opcode | payload
+//
+// Requests carry a client-chosen ID; every response echoes it, so a
+// client can keep many requests in flight on one connection and match
+// replies out of order — this is what lets the viewer's prefetcher
+// overlap WAN fetches. Server-pushed frame notifications echo the
+// Subscribe request's ID.
+
+var protoMagic = [4]byte{'A', 'C', 'V', 'P'}
+
+const (
+	protoVersion = 1
+
+	// maxBody bounds a message body so a corrupt or hostile length
+	// prefix cannot cause an arbitrary allocation.
+	maxBody = 1 << 30
+
+	// msgOverhead is the body size before the payload: request ID + op.
+	msgOverhead = 8 + 1
+)
+
+// Opcodes. Responses are the request opcode with the high bit set;
+// opError and opNotify stand alone.
+const (
+	opList      byte = 0x01
+	opGet       byte = 0x02
+	opSubscribe byte = 0x03
+	opRender    byte = 0x04
+
+	opListOK      byte = 0x81
+	opGetOK       byte = 0x82
+	opSubscribeOK byte = 0x83
+	opRenderOK    byte = 0x84
+
+	opNotify byte = 0x90
+	opError  byte = 0xFF
+)
+
+// message is one decoded protocol frame.
+type message struct {
+	reqID   uint64
+	op      byte
+	payload []byte
+}
+
+// writeMessage frames and sends one message. The caller serializes
+// concurrent writers.
+func writeMessage(w *bufio.Writer, reqID uint64, op byte, payload []byte) error {
+	if len(payload) > maxBody-msgOverhead {
+		return fmt.Errorf("remote: message payload %d exceeds limit", len(payload))
+	}
+	le := binary.LittleEndian
+	var head [4 + msgOverhead]byte
+	le.PutUint32(head[0:], uint32(msgOverhead+len(payload)))
+	le.PutUint64(head[4:], reqID)
+	head[12] = op
+	crc := crc32.NewIEEE()
+	crc.Write(head[4:])
+	crc.Write(payload)
+	if _, err := w.Write(head[:]); err != nil {
+		return fmt.Errorf("remote: writing message header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("remote: writing message payload: %w", err)
+	}
+	var tail [4]byte
+	le.PutUint32(tail[:], crc.Sum32())
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("remote: writing message checksum: %w", err)
+	}
+	return w.Flush()
+}
+
+// readMessage decodes one message from r. rateBps > 0 throttles the
+// body read to that many bytes per second (the client's WAN model).
+// Malformed input — truncated header or body, an implausible length, a
+// checksum mismatch — returns an error and never panics.
+func readMessage(r io.Reader, rateBps int64) (message, error) {
+	le := binary.LittleEndian
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return message{}, err // io.EOF here is a clean close
+	}
+	n := le.Uint32(lenBuf[:])
+	if n < msgOverhead {
+		return message{}, fmt.Errorf("remote: message body %d shorter than header", n)
+	}
+	if n > maxBody {
+		return message{}, fmt.Errorf("remote: implausible message body %d", n)
+	}
+	body := make([]byte, n)
+	if err := readThrottled(r, body, rateBps); err != nil {
+		return message{}, fmt.Errorf("remote: reading message body: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return message{}, fmt.Errorf("remote: reading message checksum: %w", err)
+	}
+	if got, want := le.Uint32(crcBuf[:]), crc32.ChecksumIEEE(body); got != want {
+		return message{}, fmt.Errorf("remote: message checksum mismatch (wire %08x, computed %08x)", got, want)
+	}
+	return message{
+		reqID:   le.Uint64(body[0:]),
+		op:      body[8],
+		payload: body[msgOverhead:],
+	}, nil
+}
+
+// readThrottled fills p, sleeping as needed to hold the modeled link
+// rate — the "10 seconds for a 100MB time step" arithmetic of §2.5.
+func readThrottled(r io.Reader, p []byte, rateBps int64) error {
+	if rateBps <= 0 {
+		_, err := io.ReadFull(r, p)
+		return err
+	}
+	const chunk = 64 << 10
+	read := 0
+	start := time.Now()
+	for read < len(p) {
+		n := min(chunk, len(p)-read)
+		if _, err := io.ReadFull(r, p[read:read+n]); err != nil {
+			return err
+		}
+		read += n
+		ideal := time.Duration(float64(read) / float64(rateBps) * float64(time.Second))
+		if elapsed := time.Since(start); elapsed < ideal {
+			time.Sleep(ideal - elapsed)
+		}
+	}
+	return nil
+}
+
+// clientHello / serverHello run the version handshake.
+func clientHello(conn io.ReadWriter) error {
+	var out [8]byte
+	copy(out[:], protoMagic[:])
+	binary.LittleEndian.PutUint32(out[4:], protoVersion)
+	if _, err := conn.Write(out[:]); err != nil {
+		return fmt.Errorf("remote: sending hello: %w", err)
+	}
+	var in [12]byte
+	if _, err := io.ReadFull(conn, in[:]); err != nil {
+		return fmt.Errorf("remote: reading server hello: %w", err)
+	}
+	if [4]byte(in[:4]) != protoMagic {
+		return fmt.Errorf("remote: bad server magic %q", in[:4])
+	}
+	if v := binary.LittleEndian.Uint32(in[4:]); v != protoVersion {
+		return fmt.Errorf("remote: server speaks protocol v%d, client v%d", v, protoVersion)
+	}
+	return nil
+}
+
+func serverHello(conn io.ReadWriter) error {
+	var in [8]byte
+	if _, err := io.ReadFull(conn, in[:]); err != nil {
+		return fmt.Errorf("remote: reading client hello: %w", err)
+	}
+	if [4]byte(in[:4]) != protoMagic {
+		return fmt.Errorf("remote: bad client magic %q", in[:4])
+	}
+	if v := binary.LittleEndian.Uint32(in[4:]); v != protoVersion {
+		return fmt.Errorf("remote: client speaks protocol v%d, server v%d", v, protoVersion)
+	}
+	var out [12]byte
+	copy(out[:], protoMagic[:])
+	binary.LittleEndian.PutUint32(out[4:], protoVersion)
+	binary.LittleEndian.PutUint32(out[8:], 0) // flags, reserved
+	if _, err := conn.Write(out[:]); err != nil {
+		return fmt.Errorf("remote: sending hello: %w", err)
+	}
+	return nil
+}
+
+// ListInfo is the List response: the store's frame range and liveness.
+type ListInfo struct {
+	Frames int  // frames published so far; valid indices end here
+	First  int  // oldest index still available (live rings evict)
+	Live   bool // whether the store can push new frames to subscribers
+}
+
+func encodeListInfo(li ListInfo) []byte {
+	out := make([]byte, 17)
+	le := binary.LittleEndian
+	le.PutUint64(out[0:], uint64(li.Frames))
+	le.PutUint64(out[8:], uint64(li.First))
+	if li.Live {
+		out[16] = 1
+	}
+	return out
+}
+
+func decodeListInfo(p []byte) (ListInfo, error) {
+	if len(p) != 17 {
+		return ListInfo{}, fmt.Errorf("remote: list payload %d bytes, want 17", len(p))
+	}
+	le := binary.LittleEndian
+	li := ListInfo{
+		Frames: int(le.Uint64(p[0:])),
+		First:  int(le.Uint64(p[8:])),
+		Live:   p[16] != 0,
+	}
+	if li.Frames < 0 || li.First < 0 || li.First > li.Frames {
+		return ListInfo{}, fmt.Errorf("remote: inconsistent list payload (%d frames, first %d)", li.Frames, li.First)
+	}
+	return li, nil
+}
+
+// RenderParams is the thin-client request: instead of transferring the
+// full hybrid frame, the client ships camera and transfer-function
+// parameters and the server renders on its tile-binned rasterizer,
+// returning an RLE-compressed framebuffer. Zero-valued TF fields mean
+// the server's defaults (core.DefaultTF), so a zero-TF render is
+// bit-identical to core.RenderFrame run locally.
+type RenderParams struct {
+	Frame         int
+	Width, Height int
+	ViewDir       vec.V3
+	// VolumeOpacity overrides the transfer function's opacity scale
+	// when > 0.
+	VolumeOpacity float64
+	// LogDomainK overrides the log-domain expansion constant when > 0.
+	LogDomainK float64
+}
+
+func encodeRenderParams(p RenderParams) []byte {
+	out := make([]byte, 12+5*8)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], uint32(p.Frame))
+	le.PutUint32(out[4:], uint32(p.Width))
+	le.PutUint32(out[8:], uint32(p.Height))
+	for i, f := range []float64{p.ViewDir.X, p.ViewDir.Y, p.ViewDir.Z, p.VolumeOpacity, p.LogDomainK} {
+		le.PutUint64(out[12+8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+func decodeRenderParams(p []byte) (RenderParams, error) {
+	if len(p) != 12+5*8 {
+		return RenderParams{}, fmt.Errorf("remote: render payload %d bytes, want %d", len(p), 12+5*8)
+	}
+	le := binary.LittleEndian
+	var f [5]float64
+	for i := range f {
+		f[i] = math.Float64frombits(le.Uint64(p[12+8*i:]))
+	}
+	rp := RenderParams{
+		Frame:         int(int32(le.Uint32(p[0:]))),
+		Width:         int(le.Uint32(p[4:])),
+		Height:        int(le.Uint32(p[8:])),
+		ViewDir:       vec.New(f[0], f[1], f[2]),
+		VolumeOpacity: f[3],
+		LogDomainK:    f[4],
+	}
+	// Bound the framebuffer a request can demand: like maxBody, a
+	// hostile 52-byte message must not force an arbitrary server-side
+	// allocation (4096x4096 is ~335MB of framebuffer already).
+	if rp.Width < 1 || rp.Height < 1 || rp.Width > 4096 || rp.Height > 4096 ||
+		rp.Width*rp.Height > 1<<22 {
+		return RenderParams{}, fmt.Errorf("remote: implausible render size %dx%d", rp.Width, rp.Height)
+	}
+	return rp, nil
+}
+
+// TransferEstimate returns how long a payload of the given size takes
+// at the given bandwidth — the arithmetic behind the paper's frame
+// budgeting (100MB at ~10MB/s ≈ 10 s).
+func TransferEstimate(bytes, bandwidthBps int64) time.Duration {
+	if bandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / float64(bandwidthBps) * float64(time.Second))
+}

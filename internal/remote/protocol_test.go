@@ -1,0 +1,222 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// frame builds a raw protocol frame with an arbitrary (possibly bogus)
+// CRC and length, for malformed-input tests.
+func rawFrame(lenField uint32, body []byte, crc uint32) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, lenField)
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint32(out, crc)
+}
+
+func goodBody(reqID uint64, op byte, payload []byte) []byte {
+	body := binary.LittleEndian.AppendUint64(nil, reqID)
+	body = append(body, op)
+	return append(body, payload...)
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	payload := []byte("hello frames")
+	if err := writeMessage(bw, 7, opGet, payload); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := readMessage(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.reqID != 7 || msg.op != opGet || !bytes.Equal(msg.payload, payload) {
+		t.Errorf("round trip mangled message: %+v", msg)
+	}
+	// Empty payload too.
+	if err := writeMessage(bw, 8, opList, nil); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = readMessage(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.reqID != 8 || msg.op != opList || len(msg.payload) != 0 {
+		t.Errorf("empty-payload round trip mangled: %+v", msg)
+	}
+}
+
+// TestDecodeMalformedMessages feeds the decoder every class of
+// corruption the satellite task names: truncated headers and bodies,
+// oversized lengths, checksum damage. Every case must error cleanly —
+// no panic, no hang, no partial message.
+func TestDecodeMalformedMessages(t *testing.T) {
+	body := goodBody(1, opList, nil)
+	good := rawFrame(uint32(len(body)), body, crc32.ChecksumIEEE(body))
+
+	cases := map[string][]byte{
+		"empty":                {},
+		"truncated length":     good[:2],
+		"length only":          good[:4],
+		"truncated body":       good[:4+5],
+		"missing crc":          good[:len(good)-4],
+		"truncated crc":        good[:len(good)-2],
+		"length below header":  rawFrame(3, []byte{1, 2, 3}, 0),
+		"zero length":          rawFrame(0, nil, 0),
+		"oversized length":     rawFrame(maxBody+1, body, crc32.ChecksumIEEE(body)),
+		"crc mismatch":         rawFrame(uint32(len(body)), body, crc32.ChecksumIEEE(body)^0xdeadbeef),
+		"flipped payload byte": flipByte(good, 8),
+	}
+	for name, data := range cases {
+		if _, err := readMessage(bytes.NewReader(data), 0); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xff
+	return out
+}
+
+func FuzzReadMessage(f *testing.F) {
+	body := goodBody(3, opGet, []byte{1, 2, 3, 4})
+	f.Add(rawFrame(uint32(len(body)), body, crc32.ChecksumIEEE(body)))
+	f.Add([]byte("ACVP\x01\x00\x00\x00"))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and never over-allocate on hostile lengths.
+		_, _ = readMessage(bytes.NewReader(data), 0)
+	})
+}
+
+func FuzzDecodePayloads(f *testing.F) {
+	f.Add(encodeListInfo(ListInfo{Frames: 4, First: 1, Live: true}))
+	f.Add(encodeRenderParams(RenderParams{Frame: 1, Width: 64, Height: 64}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeListInfo(data)
+		_, _ = decodeRenderParams(data)
+	})
+}
+
+// dialRaw opens a raw TCP connection with a completed handshake, for
+// driving the server below the Client abstraction.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := clientHello(conn); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestServerRejectsUnknownOpcode: a well-framed message with an
+// unassigned opcode gets an error response and a closed connection —
+// no panic, no stuck handler.
+func TestServerRejectsUnknownOpcode(t *testing.T) {
+	srv, _ := serveMem(t, testReps(t, 1))
+	conn := dialRaw(t, srv.Addr())
+	bw := bufio.NewWriter(conn)
+	if err := writeMessage(bw, 5, 0x7e, nil); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := readMessage(conn, 0)
+	if err != nil {
+		t.Fatalf("no error response: %v", err)
+	}
+	if msg.op != opError || msg.reqID != 5 {
+		t.Errorf("got op %#02x req %d, want opError echoing req 5", msg.op, msg.reqID)
+	}
+	// The server hangs up after an unknown opcode.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readMessage(conn, 0); err == nil {
+		t.Error("connection still open after unknown opcode")
+	}
+}
+
+// TestServerDropsCorruptStream: framing damage (bad CRC) terminates
+// the connection without tearing down the service.
+func TestServerDropsCorruptStream(t *testing.T) {
+	srv, _ := serveMem(t, testReps(t, 1))
+	conn := dialRaw(t, srv.Addr())
+	body := goodBody(1, opList, nil)
+	if _, err := conn.Write(rawFrame(uint32(len(body)), body, 0xbad)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Errorf("connection not cleanly closed: %v", err)
+	}
+	// Service still serves new clients.
+	cli := dial(t, srv.Addr())
+	if _, err := cli.List(); err != nil {
+		t.Errorf("service dead after corrupt stream: %v", err)
+	}
+}
+
+// TestServerRejectsBadHandshake covers magic and version mismatches.
+func TestServerRejectsBadHandshake(t *testing.T) {
+	srv, _ := serveMem(t, testReps(t, 1))
+	for name, hello := range map[string][]byte{
+		"bad magic":   []byte("XXXX\x01\x00\x00\x00"),
+		"bad version": []byte("ACVP\x63\x00\x00\x00"),
+		"truncated":   []byte("ACV"),
+	} {
+		conn, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(hello); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		buf := make([]byte, 64)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break // server hung up (or sent nothing and closed)
+			}
+		}
+		conn.Close()
+		_ = name
+	}
+	// Service remains healthy.
+	cli := dial(t, srv.Addr())
+	if _, err := cli.List(); err != nil {
+		t.Errorf("service dead after bad handshakes: %v", err)
+	}
+}
+
+// TestOversizedGetPayload: a Get with the wrong payload size is an
+// application error, not a framing error — the connection survives.
+func TestOversizedGetPayload(t *testing.T) {
+	srv, _ := serveMem(t, testReps(t, 1))
+	conn := dialRaw(t, srv.Addr())
+	bw := bufio.NewWriter(conn)
+	if err := writeMessage(bw, 9, opGet, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := readMessage(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.op != opError {
+		t.Errorf("malformed get payload answered with op %#02x, want opError", msg.op)
+	}
+	if err := writeMessage(bw, 10, opList, nil); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = readMessage(conn, 0); err != nil || msg.op != opListOK {
+		t.Errorf("connection dead after payload error: op %#02x, err %v", msg.op, err)
+	}
+}

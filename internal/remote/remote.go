@@ -1,266 +1,35 @@
-// Package remote implements the remote-visualization setting of the
-// paper: "Because of the collaborative nature of the overall
-// accelerator modeling project, the visualization technology developed
-// is for both desktop and remote visualization settings" — hybrid
-// frames are produced where the supercomputer lives and viewed "on a
-// scientist's desk thousands of miles away".
+// Package remote is the visualization service API for the paper's
+// remote setting: frames are produced "where the supercomputer lives"
+// and viewed "on a scientist's desk thousands of miles away" (§2.5).
 //
-// A Server holds encoded hybrid frames; a Client fetches them over TCP
-// with an optional bandwidth throttle that models the wide-area link,
-// so the transfer-size economics of the hybrid representation (100MB
-// frames at ~10s per frame on the paper's links) can be measured.
+// The read side is a FrameStore — an ordered collection of hybrid
+// frames with three implementations covering the three deployment
+// modes:
 //
-// Protocol (little-endian):
+//   - MemStore: a fixed in-memory frame set (post-hoc, all extracted)
+//   - DirStore: a directory of .achy files (the batch workflow)
+//   - LiveRing: a bounded latest-wins ring that a *running* pipeline
+//     publishes into (in-situ mode) — it implements core.FrameSink, the
+//     write side that core.StreamFrames/StreamSolve accept as a sink
+//     stage, so remote viewers watch the simulation while it computes
+//     and a slow client can never backpressure the solver.
 //
-//	client: 1-byte op ('C' = count, 'G' = get) [+ 4-byte frame index]
-//	server: 1-byte status (0 ok, 1 error) + 8-byte length + payload
+// A Service serves any FrameStore to concurrent clients over a
+// versioned, length-prefixed, CRC-framed, request-ID-multiplexed
+// protocol (protocol.go) with four verbs:
+//
+//   - List: frame range and liveness
+//   - Get: full-frame transfer (fetch-and-render-locally); the
+//     transfer-size economics of the hybrid representation — 100MB
+//     frames at ~10s on the paper's links — measured by FetchFrame
+//   - Subscribe: live-frame push notifications (LiveStore stores)
+//   - Render: thin-client mode — the client ships camera/transfer-
+//     function parameters, the server renders on the tile-binned
+//     rasterizer and returns an RLE-compressed framebuffer,
+//     bit-identical to a local render at ~1-2 orders of magnitude
+//     fewer bytes than the frame itself
+//
+// Because responses are matched to requests by ID, one connection
+// carries many requests in flight: the viewer's prefetcher overlaps
+// its WAN fetches on a single session.
 package remote
-
-import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
-	"io"
-	"net"
-	"sync"
-	"time"
-
-	"repro/internal/hybrid"
-)
-
-// Server serves a fixed set of encoded hybrid frames.
-type Server struct {
-	ln     net.Listener
-	frames [][]byte
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
-}
-
-// NewServer encodes the given representations and starts listening on
-// addr (use "127.0.0.1:0" for an ephemeral test port).
-func NewServer(addr string, frames []*hybrid.Representation) (*Server, error) {
-	encoded := make([][]byte, len(frames))
-	for i, f := range frames {
-		var buf writerBuffer
-		if err := f.Write(&buf); err != nil {
-			return nil, fmt.Errorf("remote: encoding frame %d: %w", i, err)
-		}
-		encoded[i] = buf.data
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("remote: %w", err)
-	}
-	s := &Server{ln: ln, frames: encoded}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-type writerBuffer struct{ data []byte }
-
-func (w *writerBuffer) Write(p []byte) (int, error) {
-	w.data = append(w.data, p...)
-	return len(p), nil
-}
-
-// Addr returns the listening address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// FrameBytes returns the encoded size of frame i.
-func (s *Server) FrameBytes(i int) int64 {
-	if i < 0 || i >= len(s.frames) {
-		return 0
-	}
-	return int64(len(s.frames[i]))
-}
-
-// Close stops the server and waits for connection handlers.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			s.handle(conn)
-		}()
-	}
-}
-
-func (s *Server) handle(conn net.Conn) {
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
-	le := binary.LittleEndian
-	for {
-		op, err := br.ReadByte()
-		if err != nil {
-			return
-		}
-		switch op {
-		case 'C':
-			bw.WriteByte(0)
-			binary.Write(bw, le, uint64(8))
-			binary.Write(bw, le, uint64(len(s.frames)))
-		case 'G':
-			var idx uint32
-			if err := binary.Read(br, le, &idx); err != nil {
-				return
-			}
-			if int(idx) >= len(s.frames) {
-				msg := []byte(fmt.Sprintf("no frame %d", idx))
-				bw.WriteByte(1)
-				binary.Write(bw, le, uint64(len(msg)))
-				bw.Write(msg)
-			} else {
-				bw.WriteByte(0)
-				binary.Write(bw, le, uint64(len(s.frames[idx])))
-				bw.Write(s.frames[idx])
-			}
-		default:
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-// Client fetches frames from a Server. BandwidthBps > 0 throttles
-// reads to that many bytes per second, modeling the wide-area link.
-type Client struct {
-	conn         net.Conn
-	br           *bufio.Reader
-	BandwidthBps int64
-}
-
-// Dial connects to a frame server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("remote: %w", err)
-	}
-	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// NumFrames asks the server how many frames it holds.
-func (c *Client) NumFrames() (int, error) {
-	if _, err := c.conn.Write([]byte{'C'}); err != nil {
-		return 0, fmt.Errorf("remote: %w", err)
-	}
-	payload, err := c.readResponse()
-	if err != nil {
-		return 0, err
-	}
-	if len(payload) != 8 {
-		return 0, fmt.Errorf("remote: bad count payload")
-	}
-	return int(binary.LittleEndian.Uint64(payload)), nil
-}
-
-// FetchFrame downloads and decodes frame i, returning the
-// representation, the transfer size and the (throttled) elapsed time —
-// exactly the "10 seconds for a 100MB time step" measurement of §2.5.
-func (c *Client) FetchFrame(i int) (*hybrid.Representation, int64, time.Duration, error) {
-	start := time.Now()
-	req := make([]byte, 5)
-	req[0] = 'G'
-	binary.LittleEndian.PutUint32(req[1:], uint32(i))
-	if _, err := c.conn.Write(req); err != nil {
-		return nil, 0, 0, fmt.Errorf("remote: %w", err)
-	}
-	payload, err := c.readResponse()
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	rep, err := hybrid.Read(&sliceReader{data: payload})
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	return rep, int64(len(payload)), time.Since(start), nil
-}
-
-// readResponse reads a status + length + payload frame, applying the
-// bandwidth throttle to the payload body.
-func (c *Client) readResponse() ([]byte, error) {
-	header := make([]byte, 9)
-	if _, err := io.ReadFull(c.br, header); err != nil {
-		return nil, fmt.Errorf("remote: reading header: %w", err)
-	}
-	status := header[0]
-	length := binary.LittleEndian.Uint64(header[1:])
-	if length > 1<<32 {
-		return nil, fmt.Errorf("remote: implausible payload %d", length)
-	}
-	payload := make([]byte, length)
-	if c.BandwidthBps <= 0 {
-		if _, err := io.ReadFull(c.br, payload); err != nil {
-			return nil, fmt.Errorf("remote: reading payload: %w", err)
-		}
-	} else {
-		// Throttled read: consume in chunks, sleeping to hold the rate.
-		const chunk = 64 << 10
-		read := 0
-		start := time.Now()
-		for read < len(payload) {
-			n := chunk
-			if read+n > len(payload) {
-				n = len(payload) - read
-			}
-			if _, err := io.ReadFull(c.br, payload[read:read+n]); err != nil {
-				return nil, fmt.Errorf("remote: reading payload: %w", err)
-			}
-			read += n
-			// Sleep until the wall clock catches up with the modeled link.
-			ideal := time.Duration(float64(read) / float64(c.BandwidthBps) * float64(time.Second))
-			if elapsed := time.Since(start); elapsed < ideal {
-				time.Sleep(ideal - elapsed)
-			}
-		}
-	}
-	if status != 0 {
-		return nil, fmt.Errorf("remote: server error: %s", payload)
-	}
-	return payload, nil
-}
-
-type sliceReader struct {
-	data []byte
-	pos  int
-}
-
-func (r *sliceReader) Read(p []byte) (int, error) {
-	if r.pos >= len(r.data) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.data[r.pos:])
-	r.pos += n
-	return n, nil
-}
-
-// TransferEstimate returns how long a payload of the given size takes
-// at the given bandwidth — the arithmetic behind the paper's frame
-// budgeting (100MB at ~10MB/s ≈ 10 s).
-func TransferEstimate(bytes, bandwidthBps int64) time.Duration {
-	if bandwidthBps <= 0 {
-		return 0
-	}
-	return time.Duration(float64(bytes) / float64(bandwidthBps) * float64(time.Second))
-}

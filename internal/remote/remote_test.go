@@ -1,16 +1,24 @@
 package remote
 
 import (
+	"bytes"
+	"fmt"
+	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/octree"
+	"repro/internal/render"
 	"repro/internal/vec"
 )
 
-func testReps(t *testing.T, n int) []*hybrid.Representation {
+func testReps(t testing.TB, n int) []*hybrid.Representation {
 	t.Helper()
 	rng := rand.New(rand.NewSource(42))
 	reps := make([]*hybrid.Representation, n)
@@ -32,26 +40,41 @@ func testReps(t *testing.T, n int) []*hybrid.Representation {
 	return reps
 }
 
-func TestServerClientRoundTrip(t *testing.T) {
+func serveMem(t testing.TB, reps []*hybrid.Representation) (*Service, *MemStore) {
+	t.Helper()
+	store, err := NewMemStore(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewService("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, store
+}
+
+func dial(t testing.TB, addr string) *Client {
+	t.Helper()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func TestServiceRoundTrip(t *testing.T) {
 	reps := testReps(t, 3)
-	srv, err := NewServer("127.0.0.1:0", reps)
-	if err != nil {
-		t.Fatalf("NewServer: %v", err)
-	}
-	defer srv.Close()
+	srv, store := serveMem(t, reps)
+	cli := dial(t, srv.Addr())
 
-	cli, err := Dial(srv.Addr())
+	li, err := cli.List()
 	if err != nil {
-		t.Fatalf("Dial: %v", err)
+		t.Fatalf("List: %v", err)
 	}
-	defer cli.Close()
-
-	n, err := cli.NumFrames()
-	if err != nil {
-		t.Fatalf("NumFrames: %v", err)
-	}
-	if n != 3 {
-		t.Errorf("NumFrames = %d, want 3", n)
+	if li.Frames != 3 || li.First != 0 || li.Live {
+		t.Errorf("List = %+v, want 3 frames from 0, not live", li)
 	}
 
 	for i := 0; i < 3; i++ {
@@ -62,55 +85,84 @@ func TestServerClientRoundTrip(t *testing.T) {
 		if rep.NumPoints() != reps[i].NumPoints() {
 			t.Errorf("frame %d: %d points, want %d", i, rep.NumPoints(), reps[i].NumPoints())
 		}
-		if size != srv.FrameBytes(i) {
-			t.Errorf("frame %d: transferred %d bytes, server says %d", i, size, srv.FrameBytes(i))
+		if size != store.FrameBytes(i) {
+			t.Errorf("frame %d: transferred %d bytes, store says %d", i, size, store.FrameBytes(i))
+		}
+		// The fetched frame re-encodes bit-identically: nothing was
+		// lost or reordered in transit.
+		enc, err := encodeRep(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := store.EncodedFrame(i)
+		if !bytes.Equal(enc, want) {
+			t.Errorf("frame %d: fetched frame re-encodes differently", i)
 		}
 	}
 }
 
-func TestFetchMissingFrame(t *testing.T) {
-	reps := testReps(t, 1)
-	srv, err := NewServer("127.0.0.1:0", reps)
+func TestDirStoreRoundTrip(t *testing.T) {
+	reps := testReps(t, 2)
+	dir := t.TempDir()
+	for i, rep := range reps {
+		if err := rep.WriteFile(filepath.Join(dir, fmt.Sprintf("frame_%04d.achy", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumFrames() != 2 {
+		t.Fatalf("dir store holds %d frames, want 2", store.NumFrames())
+	}
+	srv, err := NewService("127.0.0.1:0", store)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := Dial(srv.Addr())
-	if err != nil {
-		t.Fatal(err)
+	cli := dial(t, srv.Addr())
+	for i := range reps {
+		rep, size, _, err := cli.FetchFrame(i)
+		if err != nil {
+			t.Fatalf("FetchFrame(%d): %v", i, err)
+		}
+		if rep.NumPoints() != reps[i].NumPoints() {
+			t.Errorf("frame %d: %d points, want %d", i, rep.NumPoints(), reps[i].NumPoints())
+		}
+		if fi, err := os.Stat(store.Path(i)); err == nil && size != fi.Size() {
+			t.Errorf("frame %d: transferred %d bytes, file is %d", i, size, fi.Size())
+		}
 	}
-	defer cli.Close()
+
+	if _, err := NewDirStore(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}
+
+func TestFetchMissingFrame(t *testing.T) {
+	srv, _ := serveMem(t, testReps(t, 1))
+	cli := dial(t, srv.Addr())
 	if _, _, _, err := cli.FetchFrame(99); err == nil {
 		t.Error("missing frame fetched without error")
+	}
+	// The connection survives an application-level error.
+	if _, _, _, err := cli.FetchFrame(0); err != nil {
+		t.Errorf("fetch after error: %v", err)
 	}
 }
 
 func TestBandwidthThrottle(t *testing.T) {
-	reps := testReps(t, 1)
-	srv, err := NewServer("127.0.0.1:0", reps)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
+	srv, _ := serveMem(t, testReps(t, 1))
 
-	// Unthrottled fetch time.
-	fast, err := Dial(srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer fast.Close()
+	fast := dial(t, srv.Addr())
 	_, size, fastTime, err := fast.FetchFrame(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	// Throttled to a rate that makes the frame take >= 100ms.
-	slow, err := Dial(srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer slow.Close()
-	slow.BandwidthBps = size * 10 // frame takes ~100 ms
+	slow := dial(t, srv.Addr())
+	slow.SetBandwidth(size * 10) // frame takes ~100 ms
 	_, _, slowTime, err := slow.FetchFrame(0)
 	if err != nil {
 		t.Fatal(err)
@@ -134,35 +186,221 @@ func TestTransferEstimate(t *testing.T) {
 	}
 }
 
-func TestMultipleClients(t *testing.T) {
+// framesEqual asserts two framebuffers match bit for bit.
+func framesEqual(t *testing.T, got, want *render.Framebuffer, what string) {
+	t.Helper()
+	if got.W != want.W || got.H != want.H {
+		t.Fatalf("%s: size %dx%d, want %dx%d", what, got.W, got.H, want.W, want.H)
+	}
+	for i := range want.Color {
+		if math.Float32bits(got.Color[i]) != math.Float32bits(want.Color[i]) {
+			t.Fatalf("%s: color word %d differs", what, i)
+		}
+	}
+	for i := range want.Depth {
+		if math.Float32bits(got.Depth[i]) != math.Float32bits(want.Depth[i]) {
+			t.Fatalf("%s: depth word %d differs", what, i)
+		}
+	}
+}
+
+func TestRenderMatchesLocal(t *testing.T) {
 	reps := testReps(t, 2)
-	srv, err := NewServer("127.0.0.1:0", reps)
+	srv, _ := serveMem(t, reps)
+	cli := dial(t, srv.Addr())
+
+	params := RenderParams{Frame: 1, Width: 96, Height: 72, ViewDir: vec.New(0.4, 0.3, 1)}
+	remoteFB, wire, _, err := cli.Render(params)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+
+	// The thin-client contract: the shipped image is bit-identical to
+	// fetching the frame and rendering locally.
+	tf, err := core.DefaultTF(reps[1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	localFB, _, _, err := core.RenderFrame(reps[1], tf, 96, 72, params.ViewDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framesEqual(t, remoteFB, localFB, "server-rendered frame")
 
-	done := make(chan error, 4)
-	for c := 0; c < 4; c++ {
-		go func() {
+	// And the economics: the compressed image is far smaller than the
+	// raw framebuffer it stands for, and — at realistic frame sizes —
+	// smaller than the frame transfer it replaces (checked against a
+	// paper-regime frame in TestRenderEconomics).
+	if raw := int64(96 * 72 * 20); wire >= raw {
+		t.Errorf("server render shipped %d bytes, raw framebuffer is %d", wire, raw)
+	}
+
+	// TF overrides change the image but still decode cleanly.
+	styled, _, _, err := cli.Render(RenderParams{
+		Frame: 1, Width: 96, Height: 72, ViewDir: params.ViewDir,
+		VolumeOpacity: 0.5, LogDomainK: 100,
+	})
+	if err != nil {
+		t.Fatalf("styled render: %v", err)
+	}
+	same := true
+	for i := range styled.Color {
+		if styled.Color[i] != remoteFB.Color[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("TF overrides produced an identical image")
+	}
+
+	if _, _, _, err := cli.Render(RenderParams{Frame: 42, Width: 8, Height: 8, ViewDir: params.ViewDir}); err == nil {
+		t.Error("render of missing frame succeeded")
+	}
+}
+
+// TestRenderEconomics builds a paper-regime frame (every particle a
+// halo point) and checks the thin-client trade: the RLE image costs a
+// small fraction of the frame transfer it replaces.
+func TestRenderEconomics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]vec.V3, 40000)
+	for i := range pts {
+		pts[i] = vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	}
+	tree, err := octree.Build(pts, octree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hybrid.Extract(tree, hybrid.ExtractConfig{VolumeRes: 16, Budget: int64(len(pts) / 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, store := serveMem(t, []*hybrid.Representation{rep})
+	cli := dial(t, srv.Addr())
+	_, wire, _, err := cli.Render(RenderParams{Frame: 0, Width: 128, Height: 128, ViewDir: vec.New(0.4, 0.3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame := store.FrameBytes(0); wire*2 >= frame {
+		t.Errorf("server render shipped %d bytes vs %d frame bytes; want at least 2x savings", wire, frame)
+	}
+}
+
+// TestMultiClientStress runs >= 8 concurrent clients mixing Get,
+// Subscribe and Render on one service, asserting every transfer is
+// bit-identical to the source data. Run under -race in CI.
+func TestMultiClientStress(t *testing.T) {
+	reps := testReps(t, 4)
+	srv, store := serveMem(t, reps)
+
+	tf, err := core.DefaultTF(reps[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFB, _, _, err := core.RenderFrame(reps[2], tf, 48, 48, vec.New(0.4, 0.3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlob := render.CompressFramebuffer(wantFB)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	// Every goroutine (outer + 12 inner per client) may report one
+	// error; size for all of them so a broad failure can't block sends
+	// before the post-Wait drain.
+	errs := make(chan error, clients*13)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
 			cli, err := Dial(srv.Addr())
 			if err != nil {
-				done <- err
+				errs <- err
 				return
 			}
 			defer cli.Close()
-			for i := 0; i < 2; i++ {
-				if _, _, _, err := cli.FetchFrame(i); err != nil {
-					done <- err
-					return
-				}
+			sub, err := cli.Subscribe()
+			if err != nil {
+				errs <- fmt.Errorf("client %d: subscribe: %w", c, err)
+				return
 			}
-			done <- nil
-		}()
+			defer sub.Close()
+			if n := <-sub.Updates; n != 4 {
+				errs <- fmt.Errorf("client %d: initial update %d, want 4", c, n)
+				return
+			}
+			// Pipeline concurrent fetches and renders on one session.
+			var inner sync.WaitGroup
+			for k := 0; k < 6; k++ {
+				inner.Add(1)
+				go func(k int) {
+					defer inner.Done()
+					i := (c + k) % len(reps)
+					rep, _, _, err := cli.FetchFrame(i)
+					if err != nil {
+						errs <- fmt.Errorf("client %d: fetch %d: %w", c, i, err)
+						return
+					}
+					enc, err := encodeRep(rep)
+					if err != nil {
+						errs <- err
+						return
+					}
+					want, _ := store.EncodedFrame(i)
+					if !bytes.Equal(enc, want) {
+						errs <- fmt.Errorf("client %d: frame %d not bit-identical", c, i)
+					}
+				}(k)
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					fb, _, _, err := cli.Render(RenderParams{Frame: 2, Width: 48, Height: 48, ViewDir: vec.New(0.4, 0.3, 1)})
+					if err != nil {
+						errs <- fmt.Errorf("client %d: render: %w", c, err)
+						return
+					}
+					if !bytes.Equal(render.CompressFramebuffer(fb), wantBlob) {
+						errs <- fmt.Errorf("client %d: rendered frame not bit-identical", c)
+					}
+				}()
+			}
+			inner.Wait()
+		}(c)
 	}
-	for c := 0; c < 4; c++ {
-		if err := <-done; err != nil {
-			t.Fatalf("concurrent client: %v", err)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServiceCloseUnblocksClients(t *testing.T) {
+	srv, _ := serveMem(t, testReps(t, 1))
+	cli := dial(t, srv.Addr())
+	if _, _, _, err := cli.FetchFrame(0); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cli.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sub.Updates
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.Updates {
 		}
+	}()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription not closed after service shutdown")
+	}
+	if _, _, _, err := cli.FetchFrame(0); err == nil {
+		t.Error("fetch succeeded after service close")
 	}
 }

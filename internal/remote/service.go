@@ -1,0 +1,320 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/render"
+)
+
+// Service is the visualization server: it owns a listening socket and
+// serves a FrameStore to any number of concurrent clients over the v1
+// protocol. Each connection multiplexes requests by ID — List, Get
+// (full-frame transfer), Subscribe (live-frame push when the store is
+// a LiveStore, e.g. a pipeline publishing into a LiveRing), and Render
+// (thin-client mode: the server renders on its tile-binned rasterizer
+// and ships an RLE-compressed framebuffer instead of the frame).
+type Service struct {
+	ln    net.Listener
+	store FrameStore
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// LiveRing is the FrameSink the streaming pipelines publish into.
+var _ core.FrameSink = (*LiveRing)(nil)
+
+// NewService starts a service for store on addr (use "127.0.0.1:0" for
+// an ephemeral port).
+func NewService(addr string, store FrameStore) (*Service, error) {
+	if store == nil {
+		return nil, fmt.Errorf("remote: nil frame store")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	s := &Service{ln: ln, store: store, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Service) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, severs every connection, and waits for all
+// handlers to unwind.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// connWriter serializes response writes from concurrent request
+// handlers and the subscription notifier onto one connection. A write
+// error severs the connection: the response stream can no longer be
+// trusted, and closing unblocks the read loop so the handler unwinds.
+type connWriter struct {
+	conn net.Conn
+	mu   sync.Mutex
+	bw   *bufio.Writer
+}
+
+func (w *connWriter) send(reqID uint64, op byte, payload []byte) error {
+	w.mu.Lock()
+	err := writeMessage(w.bw, reqID, op, payload)
+	w.mu.Unlock()
+	if err != nil {
+		w.conn.Close()
+	}
+	return err
+}
+
+func (w *connWriter) sendErr(reqID uint64, err error) error {
+	return w.send(reqID, opError, []byte(err.Error()))
+}
+
+// handle runs one connection: handshake, then a read loop dispatching
+// each request to its own goroutine so expensive renders don't stall
+// pipelined fetches. Any framing error (bad length, bad CRC, unknown
+// opcode) terminates the connection — the stream can no longer be
+// trusted.
+func (s *Service) handle(conn net.Conn) {
+	if err := serverHello(conn); err != nil {
+		return
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	w := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+
+	var reqs sync.WaitGroup
+	defer reqs.Wait()
+
+	// Subscription state: one notifier per connection, latest-wins.
+	var subCancel func()
+	defer func() {
+		if subCancel != nil {
+			subCancel()
+		}
+	}()
+
+	for {
+		msg, err := readMessage(br, 0)
+		if err != nil {
+			return
+		}
+		switch msg.op {
+		case opList, opGet, opRender:
+			reqs.Add(1)
+			go func(m message) {
+				defer reqs.Done()
+				s.serveRequest(w, m)
+			}(msg)
+		case opSubscribe:
+			// Register the watcher before reading the count so no
+			// publish can fall between them unseen. A re-subscribe
+			// replaces the notifier, so pushes follow the newest
+			// request ID.
+			if sub, ok := s.store.(LiveStore); ok {
+				if subCancel != nil {
+					subCancel()
+				}
+				notify := newNotifier(w, msg.reqID)
+				cancelWatch := sub.Watch(notify.update)
+				subCancel = func() {
+					cancelWatch()
+					notify.stop()
+				}
+			}
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, uint64(s.store.NumFrames()))
+			if w.send(msg.reqID, opSubscribeOK, payload) != nil {
+				return
+			}
+		default:
+			w.sendErr(msg.reqID, fmt.Errorf("remote: unknown opcode %#02x", msg.op))
+			return
+		}
+	}
+}
+
+// serveRequest handles one List/Get/Render request.
+func (s *Service) serveRequest(w *connWriter, msg message) {
+	switch msg.op {
+	case opList:
+		w.send(msg.reqID, opListOK, encodeListInfo(listInfo(s.store)))
+
+	case opGet:
+		if len(msg.payload) != 4 {
+			w.sendErr(msg.reqID, fmt.Errorf("remote: get payload %d bytes, want 4", len(msg.payload)))
+			return
+		}
+		idx := int(int32(binary.LittleEndian.Uint32(msg.payload)))
+		enc, err := s.encodedFrame(idx)
+		if err != nil {
+			w.sendErr(msg.reqID, err)
+			return
+		}
+		if len(enc) > maxBody-msgOverhead {
+			// Answer per-request instead of letting writeMessage fail
+			// and sever every other request on the connection.
+			w.sendErr(msg.reqID, fmt.Errorf("remote: frame %d encoding (%d bytes) exceeds the message limit", idx, len(enc)))
+			return
+		}
+		w.send(msg.reqID, opGetOK, enc)
+
+	case opRender:
+		params, err := decodeRenderParams(msg.payload)
+		if err != nil {
+			w.sendErr(msg.reqID, err)
+			return
+		}
+		blob, err := s.renderFrame(params)
+		if err != nil {
+			w.sendErr(msg.reqID, err)
+			return
+		}
+		w.send(msg.reqID, opRenderOK, blob)
+	}
+}
+
+// encodedFrame returns frame i in wire encoding, using the store's
+// cached encoding when it has one.
+func (s *Service) encodedFrame(i int) ([]byte, error) {
+	if es, ok := s.store.(encodedFrameStore); ok {
+		return es.EncodedFrame(i)
+	}
+	rep, err := s.store.Frame(i)
+	if err != nil {
+		return nil, err
+	}
+	return encodeRep(rep)
+}
+
+// renderFrame runs the server-side render: the exact core.RenderFrame
+// path a desktop viewer runs locally, so the shipped image is
+// bit-identical to a local render of the fetched frame.
+func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
+	rep, err := s.store.Frame(p.Frame)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := core.DefaultTF(rep)
+	if err != nil {
+		return nil, err
+	}
+	if p.VolumeOpacity > 0 {
+		tf.OpacityScale = p.VolumeOpacity
+	}
+	if p.LogDomainK > 0 {
+		tf.Domain = hybrid.LogDomain(p.LogDomainK)
+	}
+	fb, _, _, err := core.RenderFrame(rep, tf, p.Width, p.Height, p.ViewDir)
+	if err != nil {
+		return nil, err
+	}
+	return render.CompressFramebuffer(fb), nil
+}
+
+// newNotifier builds the per-subscription push machinery: the store's
+// watcher callback records only the latest frame count (never
+// blocking the publisher — this is what keeps a slow client from
+// backpressuring the simulation), and a dedicated goroutine drains it
+// onto the wire as fast as the connection accepts.
+type notifier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	latest  int
+	sent    int
+	stopped bool
+	done    chan struct{}
+}
+
+func newNotifier(w *connWriter, reqID uint64) *notifier {
+	n := &notifier{done: make(chan struct{})}
+	n.cond = sync.NewCond(&n.mu)
+	go func() {
+		defer close(n.done)
+		for {
+			n.mu.Lock()
+			for n.latest == n.sent && !n.stopped {
+				n.cond.Wait()
+			}
+			if n.stopped {
+				n.mu.Unlock()
+				return
+			}
+			frames := n.latest
+			n.sent = frames
+			n.mu.Unlock()
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, uint64(frames))
+			if w.send(reqID, opNotify, payload) != nil {
+				return
+			}
+		}
+	}()
+	return n
+}
+
+// update is the watcher callback; it never blocks.
+func (n *notifier) update(frames int) {
+	n.mu.Lock()
+	if frames > n.latest {
+		n.latest = frames
+	}
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// stop terminates the notifier goroutine and waits for it.
+func (n *notifier) stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+	n.cond.Signal()
+	<-n.done
+}

@@ -1,0 +1,319 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/hybrid"
+)
+
+// FrameStore is the read side of the service: an ordered collection of
+// hybrid frames. Indices run [0, NumFrames()); live stores may have
+// evicted old indices, in which case Frame returns an error.
+type FrameStore interface {
+	NumFrames() int
+	Frame(i int) (*hybrid.Representation, error)
+}
+
+// The write side of the service is core.FrameSink: a running pipeline
+// publishes each extracted frame through StreamOptions.Sink /
+// FieldStreamOptions.Sink, so remote viewers watch the simulation
+// while it computes. LiveRing implements it (asserted in service.go);
+// the interface lives in core because core is the consumer and remote
+// already depends on core for server-side rendering.
+
+// LiveStore extends FrameStore with change notification: Watch
+// registers fn to be called with the new frame count after each
+// publish, until the returned cancel runs. fn must not block.
+type LiveStore interface {
+	FrameStore
+	Watch(fn func(frames int)) (cancel func())
+}
+
+// encodedFrameStore is an optional fast path: stores that hold the
+// wire encoding serve Get without re-encoding.
+type encodedFrameStore interface {
+	EncodedFrame(i int) ([]byte, error)
+}
+
+// firstFrameStore is an optional extension reporting the oldest index
+// still available (live rings evict).
+type firstFrameStore interface {
+	FirstFrame() int
+}
+
+// encodeRep serializes a representation to its wire form.
+func encodeRep(rep *hybrid.Representation) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ---- MemStore --------------------------------------------------------
+
+// MemStore serves a fixed, fully-resident set of frames — the
+// post-hoc setting where extraction already ran. Frames are encoded
+// once at construction and served from the encoded cache.
+type MemStore struct {
+	reps    []*hybrid.Representation
+	encoded [][]byte
+}
+
+// NewMemStore encodes the given representations eagerly so a bad frame
+// fails construction, not a client request.
+func NewMemStore(frames []*hybrid.Representation) (*MemStore, error) {
+	s := &MemStore{
+		reps:    append([]*hybrid.Representation(nil), frames...),
+		encoded: make([][]byte, len(frames)),
+	}
+	for i, rep := range s.reps {
+		enc, err := encodeRep(rep)
+		if err != nil {
+			return nil, fmt.Errorf("remote: encoding frame %d: %w", i, err)
+		}
+		s.encoded[i] = enc
+	}
+	return s, nil
+}
+
+// NumFrames implements FrameStore.
+func (s *MemStore) NumFrames() int { return len(s.reps) }
+
+// Frame implements FrameStore.
+func (s *MemStore) Frame(i int) (*hybrid.Representation, error) {
+	if i < 0 || i >= len(s.reps) {
+		return nil, fmt.Errorf("remote: no frame %d (store holds %d)", i, len(s.reps))
+	}
+	return s.reps[i], nil
+}
+
+// EncodedFrame returns the cached wire encoding of frame i.
+func (s *MemStore) EncodedFrame(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.encoded) {
+		return nil, fmt.Errorf("remote: no frame %d (store holds %d)", i, len(s.encoded))
+	}
+	return s.encoded[i], nil
+}
+
+// FrameBytes returns the encoded size of frame i (0 out of range).
+func (s *MemStore) FrameBytes(i int) int64 {
+	if i < 0 || i >= len(s.encoded) {
+		return 0
+	}
+	return int64(len(s.encoded[i]))
+}
+
+// ---- DirStore --------------------------------------------------------
+
+// DirStore serves the .achy hybrid-frame files of a directory in
+// lexical order — the paper's batch workflow, where the extraction
+// program leaves one file per time step on shared disk. Files are
+// already in wire encoding, so Get streams bytes straight off disk;
+// only server-side Render pays a decode.
+type DirStore struct {
+	paths []string
+
+	mu      sync.Mutex
+	decoded map[int]*hybrid.Representation // bounded render-path cache
+	order   []int                          // insertion order for eviction
+}
+
+// maxDecodedFrames bounds DirStore's decode cache: enough to absorb a
+// few clients rendering the same recent frames, small enough that a
+// thin client scrubbing a long run can't grow server memory without
+// bound (frames are ~100MB at paper scale).
+const maxDecodedFrames = 4
+
+// NewDirStore scans dir for *.achy files.
+func NewDirStore(dir string) (*DirStore, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.achy"))
+	if err != nil {
+		return nil, fmt.Errorf("remote: scanning %s: %w", dir, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("remote: no .achy frames in %s", dir)
+	}
+	sort.Strings(paths)
+	return &DirStore{paths: paths, decoded: make(map[int]*hybrid.Representation)}, nil
+}
+
+// NumFrames implements FrameStore.
+func (s *DirStore) NumFrames() int { return len(s.paths) }
+
+// Path returns the file backing frame i.
+func (s *DirStore) Path(i int) string { return s.paths[i] }
+
+// Frame implements FrameStore, caching decodes for the render path.
+func (s *DirStore) Frame(i int) (*hybrid.Representation, error) {
+	if i < 0 || i >= len(s.paths) {
+		return nil, fmt.Errorf("remote: no frame %d (directory holds %d)", i, len(s.paths))
+	}
+	s.mu.Lock()
+	rep, ok := s.decoded[i]
+	s.mu.Unlock()
+	if ok {
+		return rep, nil
+	}
+	rep, err := hybrid.ReadFile(s.paths[i])
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, dup := s.decoded[i]; !dup {
+		s.decoded[i] = rep
+		s.order = append(s.order, i)
+		if len(s.order) > maxDecodedFrames {
+			delete(s.decoded, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// EncodedFrame reads frame i's file — already wire-encoded.
+func (s *DirStore) EncodedFrame(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.paths) {
+		return nil, fmt.Errorf("remote: no frame %d (directory holds %d)", i, len(s.paths))
+	}
+	return os.ReadFile(s.paths[i])
+}
+
+// ---- LiveRing --------------------------------------------------------
+
+// LiveRing is the in-situ store: a bounded, latest-wins ring that a
+// running pipeline publishes into (it implements FrameSink) while the
+// service reads from it (FrameStore + LiveStore). Publish never blocks
+// on consumers — the oldest frame is simply evicted — so a slow remote
+// client can never backpressure the simulation; it just sees the
+// latest frames the ring still holds.
+type LiveRing struct {
+	mu       sync.Mutex
+	cap      int
+	frames   []liveFrame // most recent min(cap, total) frames, oldest first
+	total    int         // frames published so far
+	watchers map[int]func(int)
+	nextW    int
+}
+
+type liveFrame struct {
+	index   int
+	rep     *hybrid.Representation
+	encoded []byte
+}
+
+// NewLiveRing returns a ring retaining the most recent capacity frames.
+func NewLiveRing(capacity int) (*LiveRing, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("remote: live ring capacity %d must be >= 1", capacity)
+	}
+	return &LiveRing{cap: capacity, watchers: make(map[int]func(int))}, nil
+}
+
+// Publish implements FrameSink: encode once, append, evict the oldest
+// beyond capacity, and notify watchers. Frames must arrive in index
+// order (the pipeline's publish stage guarantees it).
+func (r *LiveRing) Publish(index int, rep *hybrid.Representation) error {
+	enc, err := encodeRep(rep)
+	if err != nil {
+		return fmt.Errorf("remote: encoding live frame %d: %w", index, err)
+	}
+	r.mu.Lock()
+	if index != r.total {
+		r.mu.Unlock()
+		return fmt.Errorf("remote: live frame %d out of order (expected %d)", index, r.total)
+	}
+	r.frames = append(r.frames, liveFrame{index: index, rep: rep, encoded: enc})
+	if len(r.frames) > r.cap {
+		r.frames[0] = liveFrame{} // release the evicted frame's memory
+		r.frames = r.frames[1:]
+	}
+	r.total++
+	total := r.total
+	fns := make([]func(int), 0, len(r.watchers))
+	for _, fn := range r.watchers {
+		fns = append(fns, fn)
+	}
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(total)
+	}
+	return nil
+}
+
+// NumFrames implements FrameStore: the count of frames published so
+// far (not all still resident).
+func (r *LiveRing) NumFrames() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// FirstFrame returns the oldest index still resident.
+func (r *LiveRing) FirstFrame() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - len(r.frames)
+}
+
+// frame locates index i under the lock.
+func (r *LiveRing) frame(i int) (liveFrame, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	first := r.total - len(r.frames)
+	if i < 0 || i >= r.total {
+		return liveFrame{}, fmt.Errorf("remote: no frame %d (published %d)", i, r.total)
+	}
+	if i < first {
+		return liveFrame{}, fmt.Errorf("remote: frame %d evicted (ring holds [%d,%d))", i, first, r.total)
+	}
+	return r.frames[i-first], nil
+}
+
+// Frame implements FrameStore.
+func (r *LiveRing) Frame(i int) (*hybrid.Representation, error) {
+	f, err := r.frame(i)
+	if err != nil {
+		return nil, err
+	}
+	return f.rep, nil
+}
+
+// EncodedFrame serves the encoding captured at publish time.
+func (r *LiveRing) EncodedFrame(i int) ([]byte, error) {
+	f, err := r.frame(i)
+	if err != nil {
+		return nil, err
+	}
+	return f.encoded, nil
+}
+
+// Watch implements LiveStore.
+func (r *LiveRing) Watch(fn func(frames int)) (cancel func()) {
+	r.mu.Lock()
+	id := r.nextW
+	r.nextW++
+	r.watchers[id] = fn
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.watchers, id)
+		r.mu.Unlock()
+	}
+}
+
+// listInfo summarizes any store for the List response.
+func listInfo(s FrameStore) ListInfo {
+	li := ListInfo{Frames: s.NumFrames()}
+	if fs, ok := s.(firstFrameStore); ok {
+		li.First = fs.FirstFrame()
+	}
+	_, li.Live = s.(LiveStore)
+	return li
+}

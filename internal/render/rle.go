@@ -1,0 +1,178 @@
+package render
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Framebuffer RLE codec — the wire format of the remote service's
+// server-rendered ("thin client") mode. A rendered frame is mostly
+// background (zero color, +Inf depth), so word-level run-length
+// encoding shrinks the ~w*h*20-byte raw framebuffer to roughly the
+// size of its covered pixels while staying bit-exact: both the color
+// and depth planes round-trip losslessly, so a server-rendered frame
+// is indistinguishable from one rendered locally.
+//
+// Layout (little-endian):
+//
+//	magic "ACFB" | u32 version | u32 w | u32 h |
+//	RLE(color words, w*h*4) | RLE(depth words, w*h)
+//
+// Each plane is a stream of ops over uint32 words (float32 bits):
+//
+//	control c < 0x80:  c+1 literal words follow        (1..128)
+//	control c >= 0x80: next word repeats (c&0x7f)+2 times (2..129)
+
+var magicFB = [4]byte{'A', 'C', 'F', 'B'}
+
+const fbCodecVersion = 1
+
+// CompressFramebuffer losslessly encodes fb's color and depth planes
+// with word-level RLE.
+func CompressFramebuffer(fb *Framebuffer) []byte {
+	out := make([]byte, 0, 16+len(fb.Color))
+	out = append(out, magicFB[:]...)
+	out = binary.LittleEndian.AppendUint32(out, fbCodecVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(fb.W))
+	out = binary.LittleEndian.AppendUint32(out, uint32(fb.H))
+	out = appendRLE(out, fb.Color)
+	out = appendRLE(out, fb.Depth)
+	return out
+}
+
+// appendRLE encodes one float32 plane as RLE ops over its bit words.
+func appendRLE(out []byte, words []float32) []byte {
+	le := binary.LittleEndian
+	i := 0
+	litStart := -1
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > 128 {
+				n = 128
+			}
+			out = append(out, byte(n-1))
+			for _, w := range words[litStart : litStart+n] {
+				out = le.AppendUint32(out, math.Float32bits(w))
+			}
+			litStart += n
+		}
+		litStart = -1
+	}
+	for i < len(words) {
+		run := 1
+		for i+run < len(words) && math.Float32bits(words[i+run]) == math.Float32bits(words[i]) {
+			run++
+		}
+		if run >= 2 {
+			if litStart >= 0 {
+				flushLits(i)
+			}
+			for run > 0 {
+				n := run
+				if n > 129 {
+					n = 129
+				}
+				if n < 2 { // a leftover single word joins the next literal run
+					break
+				}
+				out = append(out, byte(0x80|(n-2)))
+				out = le.AppendUint32(out, math.Float32bits(words[i]))
+				i += n
+				run -= n
+			}
+			if run == 1 {
+				litStart = i
+				i++
+			}
+			continue
+		}
+		if litStart < 0 {
+			litStart = i
+		}
+		i++
+	}
+	if litStart >= 0 {
+		flushLits(len(words))
+	}
+	return out
+}
+
+// DecompressFramebuffer decodes a blob produced by
+// CompressFramebuffer. Malformed input returns an error; it never
+// panics.
+func DecompressFramebuffer(data []byte) (*Framebuffer, error) {
+	le := binary.LittleEndian
+	if len(data) < 16 {
+		return nil, fmt.Errorf("render: framebuffer blob truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magicFB {
+		return nil, fmt.Errorf("render: bad framebuffer magic %q", data[:4])
+	}
+	if v := le.Uint32(data[4:]); v != fbCodecVersion {
+		return nil, fmt.Errorf("render: unsupported framebuffer codec version %d", v)
+	}
+	w, h := int(le.Uint32(data[8:])), int(le.Uint32(data[12:]))
+	if w < 1 || h < 1 || w > 1<<16 || h > 1<<16 || int64(w)*int64(h) > 1<<28 {
+		return nil, fmt.Errorf("render: implausible framebuffer size %dx%d", w, h)
+	}
+	fb, err := NewFramebuffer(w, h)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := decodeRLE(data[16:], fb.Color)
+	if err != nil {
+		return nil, fmt.Errorf("render: color plane: %w", err)
+	}
+	rest, err = decodeRLE(rest, fb.Depth)
+	if err != nil {
+		return nil, fmt.Errorf("render: depth plane: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("render: %d trailing bytes after framebuffer", len(rest))
+	}
+	return fb, nil
+}
+
+// decodeRLE fills dst exactly, returning the unconsumed remainder.
+func decodeRLE(data []byte, dst []float32) ([]byte, error) {
+	le := binary.LittleEndian
+	i := 0
+	for i < len(dst) {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("stream ended %d words short", len(dst)-i)
+		}
+		c := data[0]
+		data = data[1:]
+		if c < 0x80 {
+			n := int(c) + 1
+			if n > len(dst)-i {
+				return nil, fmt.Errorf("literal run of %d overruns plane", n)
+			}
+			if len(data) < 4*n {
+				return nil, fmt.Errorf("literal run truncated")
+			}
+			for k := 0; k < n; k++ {
+				dst[i+k] = math.Float32frombits(le.Uint32(data[4*k:]))
+			}
+			data = data[4*n:]
+			i += n
+		} else {
+			n := int(c&0x7f) + 2
+			if n > len(dst)-i {
+				return nil, fmt.Errorf("repeat run of %d overruns plane", n)
+			}
+			if len(data) < 4 {
+				return nil, fmt.Errorf("repeat run truncated")
+			}
+			v := math.Float32frombits(le.Uint32(data))
+			data = data[4:]
+			for k := 0; k < n; k++ {
+				dst[i+k] = v
+			}
+			i += n
+		}
+	}
+	return data, nil
+}

@@ -1,0 +1,142 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hybrid"
+)
+
+// roundTrip compresses and decompresses fb, asserting bit-exactness of
+// both planes.
+func roundTrip(t *testing.T, fb *Framebuffer) []byte {
+	t.Helper()
+	blob := CompressFramebuffer(fb)
+	got, err := DecompressFramebuffer(blob)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if got.W != fb.W || got.H != fb.H {
+		t.Fatalf("size %dx%d, want %dx%d", got.W, got.H, fb.W, fb.H)
+	}
+	for i := range fb.Color {
+		if math.Float32bits(got.Color[i]) != math.Float32bits(fb.Color[i]) {
+			t.Fatalf("color word %d: %x != %x", i, math.Float32bits(got.Color[i]), math.Float32bits(fb.Color[i]))
+		}
+	}
+	for i := range fb.Depth {
+		if math.Float32bits(got.Depth[i]) != math.Float32bits(fb.Depth[i]) {
+			t.Fatalf("depth word %d differs", i)
+		}
+	}
+	return blob
+}
+
+func TestRLEEmptyFramebuffer(t *testing.T) {
+	fb, err := NewFramebuffer(64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := roundTrip(t, fb)
+	raw := len(fb.Color)*4 + len(fb.Depth)*4
+	if len(blob) >= raw/10 {
+		t.Errorf("empty frame compressed to %d bytes, want far below raw %d", len(blob), raw)
+	}
+}
+
+func TestRLESparseFrame(t *testing.T) {
+	fb, err := NewFramebuffer(96, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse coverage like a rendered splat frame: a few hundred lit
+	// pixels on a transparent background.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		x, y := rng.Intn(fb.W), rng.Intn(fb.H)
+		fb.writeFragment(x, y, rng.Float32(), hybrid.RGBA{
+			R: rng.Float64(), G: rng.Float64(), B: rng.Float64(), A: 0.7,
+		}, BlendAlpha, true, true)
+	}
+	blob := roundTrip(t, fb)
+	raw := len(fb.Color)*4 + len(fb.Depth)*4
+	if len(blob) >= raw {
+		t.Errorf("sparse frame compressed to %d bytes, raw %d", len(blob), raw)
+	}
+}
+
+func TestRLEWorstCaseNoise(t *testing.T) {
+	fb, err := NewFramebuffer(37, 23) // odd sizes hit chunk boundaries
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := range fb.Color {
+		fb.Color[i] = rng.Float32()
+	}
+	for i := range fb.Depth {
+		fb.Depth[i] = rng.Float32()
+	}
+	roundTrip(t, fb)
+}
+
+func TestRLERunsAcrossChunkBoundaries(t *testing.T) {
+	fb, err := NewFramebuffer(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A >129-word run, a 1-word orphan, alternating words, another run.
+	for i := range fb.Color {
+		switch {
+		case i < 300:
+			fb.Color[i] = 3.25
+		case i == 300:
+			fb.Color[i] = -1
+		case i < 600:
+			fb.Color[i] = float32(i % 2)
+		default:
+			fb.Color[i] = 7
+		}
+	}
+	roundTrip(t, fb)
+}
+
+func TestRLEDecodeMalformed(t *testing.T) {
+	fb, err := NewFramebuffer(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := CompressFramebuffer(fb)
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:10],
+		"bad magic":        append([]byte("XXXX"), good[4:]...),
+		"bad version":      append(append([]byte{}, good[:4]...), append([]byte{99, 0, 0, 0}, good[8:]...)...),
+		"zero width":       append(append([]byte{}, good[:8]...), append([]byte{0, 0, 0, 0}, good[12:]...)...),
+		"huge dims":        append(append([]byte{}, good[:8]...), append([]byte{255, 255, 255, 255, 255, 255, 255, 255}, good[16:]...)...),
+		"truncated body":   good[:len(good)-3],
+		"trailing garbage": append(append([]byte{}, good...), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := DecompressFramebuffer(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if !bytes.Equal(good, CompressFramebuffer(fb)) {
+		t.Error("compression not deterministic")
+	}
+}
+
+func FuzzDecompressFramebuffer(f *testing.F) {
+	fb, _ := NewFramebuffer(8, 8)
+	f.Add(CompressFramebuffer(fb))
+	f.Add([]byte("ACFB\x01\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fb, err := DecompressFramebuffer(data) // must never panic
+		if err == nil && fb == nil {
+			t.Fatal("nil framebuffer without error")
+		}
+	})
+}

@@ -30,8 +30,14 @@ type Cache struct {
 	entries  map[int]*list.Element
 	eviction *list.List // front = most recently used
 
-	// Stats for the §2.5 behavior tests: cache hits display instantly,
-	// misses pay the load.
+	// Counters behind Stats, guarded by mu: cache hits display
+	// instantly, misses pay the load (§2.5).
+	hits   int64
+	misses int64
+}
+
+// CacheStats is a consistent snapshot of the hit/miss counters.
+type CacheStats struct {
 	Hits   int64
 	Misses int64
 }
@@ -66,6 +72,14 @@ func NewCache(nFrames int, budgetBytes int64, loader Loader) (*Cache, error) {
 // NumFrames returns the frame count.
 func (c *Cache) NumFrames() int { return c.nFrames }
 
+// Stats returns the hit/miss counters. It is safe to call while the
+// prefetcher loads concurrently.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
 // UsedBytes returns the current cache occupancy.
 func (c *Cache) UsedBytes() int64 {
 	c.mu.Lock()
@@ -92,12 +106,12 @@ func (c *Cache) Get(i int) (*hybrid.Representation, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[i]; ok {
 		c.eviction.MoveToFront(el)
-		c.Hits++
+		c.hits++
 		rep := el.Value.(*cacheEntry).rep
 		c.mu.Unlock()
 		return rep, nil
 	}
-	c.Misses++
+	c.misses++
 	c.mu.Unlock()
 
 	// Load outside the lock so concurrent gets of different frames

@@ -72,8 +72,8 @@ func TestCacheHitAvoidsReload(t *testing.T) {
 	if loads != 1 {
 		t.Errorf("frame loaded %d times, want 1", loads)
 	}
-	if c.Hits != 9 || c.Misses != 1 {
-		t.Errorf("hits/misses = %d/%d, want 9/1", c.Hits, c.Misses)
+	if st := c.Stats(); st.Hits != 9 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 9/1", st.Hits, st.Misses)
 	}
 }
 
@@ -196,12 +196,12 @@ func TestPlayerPrefetchWarmsAhead(t *testing.T) {
 		t.Error("prefetch did not warm the next frames")
 	}
 	// Stepping onto a prefetched frame is a cache hit.
-	hitsBefore := c.Hits
+	hitsBefore := c.Stats().Hits
 	if _, err := p.Step(1); err != nil {
 		t.Fatal(err)
 	}
 	p.Wait()
-	if c.Hits <= hitsBefore {
+	if c.Stats().Hits <= hitsBefore {
 		t.Error("stepping onto prefetched frame missed the cache")
 	}
 }

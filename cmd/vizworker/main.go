@@ -1,0 +1,46 @@
+// Command vizworker hosts a compute worker for distributed stage
+// execution: it serves the service protocol's Compute verb with the
+// built-in stage kernels (hybrid extraction), so a pipeline elsewhere
+// can place its heavy per-frame compute on this process with
+// core.StreamOptions.ExtractAddr — the paper's split of simulation and
+// visualization compute across machines.
+//
+// Usage:
+//
+//	vizworker -addr 127.0.0.1:9921
+//
+// The chosen address is printed as "vizworker: serving ... on ADDR" —
+// with -addr 127.0.0.1:0 the kernel-chosen port appears there, which
+// is how the two-process example (examples/distextract) finds its
+// child worker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/remote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vizworker: ")
+	addr := flag.String("addr", "127.0.0.1:9921", "listen address (use :0 for an ephemeral port)")
+	flag.Parse()
+
+	w, err := remote.NewWorker(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vizworker: serving kernels [%s] on %s — Ctrl-C to stop\n",
+		strings.Join(w.Kernels(), " "), w.Addr())
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	w.Close()
+}

@@ -143,32 +143,10 @@ func ConvertPlotType(t *octree.Tree, e *beam.Ensemble, newAxes [3]beam.Axis, cfg
 }
 
 // DefaultTF builds the viewer's default transfer-function pair for a
-// representation: a log-density domain (the halo is thousands of times
-// less dense than the core), a step-ramp volume profile whose
-// breakpoint sits at the extraction boundary, the heat-map color ramp,
-// and a low constant volume opacity so the interior stays visible.
+// representation. It is hybrid.DefaultTF, re-exported so façade
+// callers keep a one-stop API.
 func DefaultTF(rep *hybrid.Representation) (*hybrid.LinkedTF, error) {
-	boundary := 1.0
-	if rep.MaxLeafD > 0 {
-		boundary = rep.Threshold / rep.MaxLeafD
-	}
-	dom := hybrid.LogDomain(1e4)
-	b := dom(boundary)
-	lo := b / 2
-	hi := math.Min(b*1.5, 1)
-	if hi <= lo {
-		lo, hi = 0.1, 0.5
-	}
-	vol, err := hybrid.StepRamp(lo, hi, 1.0)
-	if err != nil {
-		return nil, err
-	}
-	tf, err := hybrid.NewLinkedTF(vol, hybrid.HeatMap(), 0.12, boundary)
-	if err != nil {
-		return nil, err
-	}
-	tf.Domain = dom
-	return tf, nil
+	return hybrid.DefaultTF(rep)
 }
 
 // LineCloudRep flattens traced field lines into a hybrid
@@ -236,19 +214,7 @@ func LineCloudRep(bounds vec.AABB, volumeRes int, results ...*seeding.Result) (*
 // rasterizer (render.DrawPointBatch) and the volume pass on the
 // parallel ray caster; both are deterministic at any worker count.
 func RenderFrame(rep *hybrid.Representation, tf *hybrid.LinkedTF, w, h int, viewDir vec.V3) (*render.Framebuffer, *render.Rasterizer, *volren.Renderer, error) {
-	fb, err := render.NewFramebuffer(w, h)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	cam, err := render.LookAtBounds(rep.Bounds, viewDir, math.Pi/3, float64(w)/float64(h))
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	rast, vr, err := volren.RenderHybrid(rep, tf, fb, cam, 1.5, false)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return fb, rast, vr, nil
+	return volren.RenderStill(rep, tf, w, h, viewDir)
 }
 
 // FieldPipeline runs the §3 field-line visualization pipeline.

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/remote"
+)
+
+// noLeaks polls until the goroutine count falls back to the baseline,
+// failing the test if pipeline or client goroutines outlive the
+// stream.
+func noLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestStreamRemoteExtractBitIdentical is the integration acceptance
+// test of the distributed stage path: StreamFrames with ExtractAddr
+// pointed at an in-process worker must produce byte-for-byte the
+// representations of the all-local run, in frame order, with several
+// frames in flight on the worker connection.
+func TestStreamRemoteExtractBitIdentical(t *testing.T) {
+	p, frames := streamFixture(t, 4000)
+	// Pin the splat worker count: the volume splat's slab boundaries
+	// depend on it, and bit-identity across processes requires both
+	// sides to use the same value.
+	p.Extract.Workers = 2
+
+	var want [][]byte
+	local := p.StreamFrames(context.Background(), FrameSliceSource(frames...), StreamOptions{
+		PartitionWorkers: 2,
+		ExtractWorkers:   2,
+	})
+	for r := range local.Out {
+		want = append(want, r.Rep.AppendBinary(nil))
+	}
+	if err := local.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	s := p.StreamFrames(context.Background(), FrameSliceSource(frames...), StreamOptions{
+		ExtractAddr:    w.Addr(),
+		ExtractWorkers: 3, // frames in flight across the wire
+		Buffer:         2,
+	})
+	got := 0
+	for r := range s.Out {
+		if r.Index != got {
+			t.Fatalf("result %d arrived with index %d (order violated)", got, r.Index)
+		}
+		if r.Tree != nil {
+			t.Error("distributed stage materialized a local tree")
+		}
+		if !bytes.Equal(r.Rep.AppendBinary(nil), want[got]) {
+			t.Errorf("frame %d: distributed extraction differs from local", got)
+		}
+		got++
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(frames) {
+		t.Fatalf("stream emitted %d frames, want %d", got, len(frames))
+	}
+}
+
+// TestStreamRemoteExtractDialFailure: a bad worker address fails the
+// stream promptly — Wait reports the dial error, Out closes, no
+// goroutine survives.
+func TestStreamRemoteExtractDialFailure(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, frames := streamFixture(t, 500)
+	// A port nothing listens on: bind one, close it, reuse the address.
+	w, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := w.Addr()
+	w.Close()
+
+	s := p.StreamFrames(context.Background(), FrameSliceSource(frames...), StreamOptions{ExtractAddr: addr})
+	for range s.Out {
+		t.Error("stream emitted a frame despite a dead worker address")
+	}
+	err = s.Wait()
+	if err == nil || !strings.Contains(err.Error(), "dialing extract worker") {
+		t.Fatalf("Wait = %v, want dial failure", err)
+	}
+	noLeaks(t, before)
+}
+
+// TestStreamRemoteExtractWorkerCrash: the worker dying mid-stream
+// propagates through the pipeline's first-error drain — Wait errors,
+// every stage unwinds, nothing leaks.
+func TestStreamRemoteExtractWorkerCrash(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, frames := streamFixture(t, 2000)
+	w, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	long := append(frames, frames...)
+	long = append(long, frames...) // 9 frames
+	s := p.StreamFrames(context.Background(), FrameSliceSource(long...), StreamOptions{
+		ExtractAddr:    w.Addr(),
+		ExtractWorkers: 2,
+	})
+	// Take one good frame, then kill the worker under the stream.
+	if _, ok := <-s.Out; !ok {
+		t.Fatal("stream produced nothing before the crash")
+	}
+	w.Close()
+	for range s.Out {
+	}
+	if err := s.Wait(); err == nil {
+		t.Fatal("Wait returned nil after the worker crashed mid-stream")
+	}
+	noLeaks(t, before)
+}
+
+// TestStreamRemoteExtractCancel: cancelling the caller's context
+// aborts a distributed stream promptly even with requests in flight.
+func TestStreamRemoteExtractCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, frames := streamFixture(t, 2000)
+	w, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	long := append(frames, frames...)
+	long = append(long, frames...)
+	s := p.StreamFrames(ctx, FrameSliceSource(long...), StreamOptions{
+		ExtractAddr:    w.Addr(),
+		ExtractWorkers: 2,
+	})
+	<-s.Out // at least one frame through, requests in flight behind it
+	cancel()
+
+	done := make(chan error, 1)
+	go func() { done <- s.Wait() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait hung after cancellation")
+	}
+	w.Close() // retire the worker's accept loop before counting
+	noLeaks(t, before)
+}
+
+// TestStreamRemoteExtractOptionValidation: the incompatible option
+// combinations fail fast with a clear error instead of starting a
+// half-configured stream.
+func TestStreamRemoteExtractOptionValidation(t *testing.T) {
+	p, frames := streamFixture(t, 500)
+	for name, opts := range map[string]StreamOptions{
+		"skip extract": {ExtractAddr: "127.0.0.1:1", SkipExtract: true},
+		"keep trees":   {ExtractAddr: "127.0.0.1:1", KeepTrees: true},
+	} {
+		s := p.StreamFrames(context.Background(), FrameSliceSource(frames...), opts)
+		for range s.Out {
+			t.Errorf("%s: stream emitted output", name)
+		}
+		if err := s.Wait(); err == nil {
+			t.Errorf("%s: invalid options accepted", name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/octree"
 	"repro/internal/pario"
 	"repro/internal/pipeline"
+	"repro/internal/remote"
 	"repro/internal/render"
 	"repro/internal/seeding"
 	"repro/internal/sos"
@@ -80,6 +81,43 @@ type FrameSink interface {
 	Publish(index int, rep *hybrid.Representation) error
 }
 
+// LiveRing is the FrameSink the in-situ examples and CLIs publish
+// into.
+var _ FrameSink = (*remote.LiveRing)(nil)
+
+// remoteExtractExecutor is the pipeline.StageExecutor that places the
+// partition+extract pair on a remote worker: the frame's projected
+// point set goes over the wire (CRC-framed, configs included), the
+// hybrid representation comes back, bit-identical to the local stage
+// pair for the same configs. Projection scratch recycles through the
+// stream's slice pool and the wire payloads through the remote
+// package's buffer pool, so a steady-state distributed stream
+// allocates like the local one.
+type remoteExtractExecutor struct {
+	cli        *remote.Client
+	p          *ParticlePipeline
+	proj       *pipeline.SlicePool[vec.V3]
+	keepFrames bool
+}
+
+// Apply implements pipeline.StageExecutor; it is called from up to
+// Workers goroutines, keeping that many frames in flight on the one
+// multiplexed worker connection.
+func (x *remoteExtractExecutor) Apply(ctx context.Context, r StreamResult) (StreamResult, error) {
+	pts := x.proj.Get(r.Frame.E.Len())
+	x.p.project(r.Frame.E, *pts)
+	rep, err := x.cli.ComputeExtract(ctx, *pts, x.p.Tree, x.p.Extract)
+	x.proj.Put(pts)
+	if err != nil {
+		return r, fmt.Errorf("frame %d: %w", r.Index, err)
+	}
+	r.Rep = rep
+	if !x.keepFrames {
+		r.Frame.E = nil
+	}
+	return r, nil
+}
+
 // RenderOptions appends a render stage to a particle stream. Each
 // frame's point pass runs on the tile-binned parallel rasterizer, so
 // the stage parallelizes along two axes: Workers concurrent frames,
@@ -132,6 +170,21 @@ type StreamOptions struct {
 	// remote.Service and clients watch the run live). Incompatible with
 	// SkipExtract.
 	Sink FrameSink
+
+	// ExtractAddr, when non-empty, places the heavy per-frame compute —
+	// octree partition plus hybrid extraction — on a remote worker
+	// process (cmd/vizworker, or an in-process remote.Worker) at that
+	// address: the paper's split of simulation and visualization
+	// compute across machines. The stage projects each frame locally
+	// (cheap), ships the point set over the service protocol's Compute
+	// verb, and receives the hybrid representation back, bit-identical
+	// to running the same configs locally. ExtractWorkers frames stay
+	// in flight on one multiplexed connection, overlapping wide-area
+	// round-trips; a dial failure, worker crash, or cancellation fails
+	// the stream through the usual first-error drain. Incompatible with
+	// SkipExtract and KeepTrees (the tree only ever exists on the
+	// worker).
+	ExtractAddr string
 }
 
 // StreamResult is the per-frame output of StreamFrames, emitted in
@@ -173,15 +226,38 @@ func (s *ParticleStream) RecycleFB(fb *render.Framebuffer) {
 // bit-identical to the serial one-shot path.
 func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, opts StreamOptions) *ParticleStream {
 	pl := pipeline.New(ctx)
-	if opts.SkipExtract && (opts.Render != nil || opts.Sink != nil) {
-		pl.Fail(fmt.Errorf("core: StreamOptions.Render/Sink require extraction; unset SkipExtract"))
+	fail := func(err error) *ParticleStream {
+		pl.Fail(err)
 		out := make(chan StreamResult)
 		close(out)
 		return &ParticleStream{Stream: pipeline.NewStream(pl, out)}
 	}
+	if opts.SkipExtract && (opts.Render != nil || opts.Sink != nil) {
+		return fail(fmt.Errorf("core: StreamOptions.Render/Sink require extraction; unset SkipExtract"))
+	}
+	if opts.ExtractAddr != "" {
+		if opts.SkipExtract {
+			return fail(fmt.Errorf("core: StreamOptions.ExtractAddr places extraction remotely; unset SkipExtract"))
+		}
+		if opts.KeepTrees {
+			return fail(fmt.Errorf("core: StreamOptions.KeepTrees is incompatible with ExtractAddr (the tree lives on the worker)"))
+		}
+	}
 	buf := opts.Buffer
 	if buf < 1 {
 		buf = 1
+	}
+
+	// Dial the remote worker before starting any stage goroutine, so a
+	// bad address fails the stream without leaving a source running.
+	var worker *remote.Client
+	if opts.ExtractAddr != "" {
+		cli, err := remote.Dial(opts.ExtractAddr)
+		if err != nil {
+			return fail(fmt.Errorf("core: dialing extract worker %s: %w", opts.ExtractAddr, err))
+		}
+		worker = cli
+		pl.Defer(func() { cli.Close() })
 	}
 
 	// Source: number the frames as they arrive.
@@ -194,42 +270,58 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 		})
 	})
 
-	// Partition: project the frame onto the pipeline's axes into a
-	// recycled scratch buffer (octree.Build copies what it keeps), then
-	// build the tree.
 	proj := pipeline.NewSlicePool[vec.V3]()
-	trees := pipeline.Map(pl, frames,
-		pipeline.StageConfig{Name: "partition", Workers: opts.PartitionWorkers, Buf: buf},
-		func(_ context.Context, r StreamResult) (StreamResult, error) {
-			pts := proj.Get(r.Frame.E.Len())
-			p.project(r.Frame.E, *pts)
-			t, err := octree.Build(*pts, p.Tree)
-			proj.Put(pts)
-			if err != nil {
-				return r, fmt.Errorf("frame %d: %w", r.Index, err)
-			}
-			r.Tree = t
-			if !opts.KeepFrames {
-				r.Frame.E = nil
-			}
-			return r, nil
-		})
-
-	out := trees
-	if !opts.SkipExtract {
-		out = pipeline.Map(pl, out,
-			pipeline.StageConfig{Name: "extract", Workers: opts.ExtractWorkers, Buf: buf},
+	var out <-chan StreamResult
+	if worker != nil {
+		// Distributed placement: partition+extract fuse into one stage
+		// whose executor ships each frame's projected point set to the
+		// worker and gets the hybrid representation back. ExtractWorkers
+		// alone sizes the stage — it is the caller's bound on concurrent
+		// kernel runs (and memory) on the worker, so PartitionWorkers
+		// must not inflate it. Each in-flight frame overlaps its WAN
+		// round-trip on the multiplexed connection; the MapExec
+		// reorderer restores frame order exactly as it does for the
+		// in-process pool.
+		out = pipeline.MapExec(pl, frames,
+			pipeline.StageConfig{Name: "extract@" + opts.ExtractAddr, Workers: opts.ExtractWorkers, Buf: buf},
+			&remoteExtractExecutor{cli: worker, p: p, proj: proj, keepFrames: opts.KeepFrames})
+	} else {
+		// Partition: project the frame onto the pipeline's axes into a
+		// recycled scratch buffer (octree.Build copies what it keeps),
+		// then build the tree.
+		trees := pipeline.Map(pl, frames,
+			pipeline.StageConfig{Name: "partition", Workers: opts.PartitionWorkers, Buf: buf},
 			func(_ context.Context, r StreamResult) (StreamResult, error) {
-				rep, err := hybrid.Extract(r.Tree, p.Extract)
+				pts := proj.Get(r.Frame.E.Len())
+				p.project(r.Frame.E, *pts)
+				t, err := octree.Build(*pts, p.Tree)
+				proj.Put(pts)
 				if err != nil {
 					return r, fmt.Errorf("frame %d: %w", r.Index, err)
 				}
-				r.Rep = rep
-				if !opts.KeepTrees {
-					r.Tree = nil
+				r.Tree = t
+				if !opts.KeepFrames {
+					r.Frame.E = nil
 				}
 				return r, nil
 			})
+
+		out = trees
+		if !opts.SkipExtract {
+			out = pipeline.Map(pl, out,
+				pipeline.StageConfig{Name: "extract", Workers: opts.ExtractWorkers, Buf: buf},
+				func(_ context.Context, r StreamResult) (StreamResult, error) {
+					rep, err := hybrid.Extract(r.Tree, p.Extract)
+					if err != nil {
+						return r, fmt.Errorf("frame %d: %w", r.Index, err)
+					}
+					r.Rep = rep
+					if !opts.KeepTrees {
+						r.Tree = nil
+					}
+					return r, nil
+				})
+		}
 	}
 
 	if opts.Sink != nil {

@@ -1,0 +1,146 @@
+package hybrid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// AppendBinary appends the representation's wire encoding to dst and
+// returns the extended slice. The bytes are identical to what Write
+// produces (asserted by tests), but the encoder works append-style
+// into a caller-owned buffer — no bufio layer, no per-field temporary
+// allocations — so hot paths (the remote service's frame cache, the
+// distributed-stage reply path) can recycle one buffer across frames.
+func (r *Representation) AppendBinary(dst []byte) []byte {
+	need := int(r.SizeBytes())
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	le := binary.LittleEndian
+
+	dst = append(dst, magicHybrid[:]...)
+	dst = le.AppendUint64(dst, hybridVersion)
+	for _, f := range []float64{
+		r.Bounds.Min.X, r.Bounds.Min.Y, r.Bounds.Min.Z,
+		r.Bounds.Max.X, r.Bounds.Max.Y, r.Bounds.Max.Z,
+		r.Threshold, r.MaxLeafD,
+	} {
+		dst = le.AppendUint64(dst, math.Float64bits(f))
+	}
+	for _, d := range []int64{int64(r.Volume.Nx), int64(r.Volume.Ny), int64(r.Volume.Nz)} {
+		dst = le.AppendUint64(dst, uint64(d))
+	}
+	for _, v := range r.Volume.Data {
+		dst = le.AppendUint32(dst, math.Float32bits(v))
+	}
+	dst = le.AppendUint64(dst, uint64(len(r.Points)))
+	for _, p := range r.Points {
+		dst = le.AppendUint64(dst, math.Float64bits(p.X))
+		dst = le.AppendUint64(dst, math.Float64bits(p.Y))
+		dst = le.AppendUint64(dst, math.Float64bits(p.Z))
+	}
+	for _, d := range r.PointDensity {
+		dst = le.AppendUint32(dst, math.Float32bits(d))
+	}
+	for _, i := range r.OrigIndex {
+		dst = le.AppendUint64(dst, uint64(i))
+	}
+	return le.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// DecodeBinary decodes one representation from p, which must hold
+// exactly the encoding (as produced by Write or AppendBinary),
+// verifying the trailing checksum. The result copies everything out of
+// p, so the caller may recycle the buffer immediately.
+func DecodeBinary(p []byte) (*Representation, error) {
+	le := binary.LittleEndian
+	// Fixed prelude: magic, version, 8 floats, 3 dims.
+	const prelude = 4 + 8 + 8*8 + 3*8
+	if len(p) < prelude+8+4 {
+		return nil, fmt.Errorf("hybrid: encoding truncated (%d bytes)", len(p))
+	}
+	if [4]byte(p[:4]) != magicHybrid {
+		return nil, fmt.Errorf("hybrid: bad magic %q", p[:4])
+	}
+	if v := le.Uint64(p[4:]); v != hybridVersion {
+		return nil, fmt.Errorf("hybrid: unsupported version %d", v)
+	}
+	var f [8]float64
+	for i := range f {
+		f[i] = math.Float64frombits(le.Uint64(p[12+8*i:]))
+	}
+	r := &Representation{
+		Bounds:    vec.Box(vec.New(f[0], f[1], f[2]), vec.New(f[3], f[4], f[5])),
+		Threshold: f[6],
+		MaxLeafD:  f[7],
+	}
+	var dims [3]int64
+	for i := range dims {
+		dims[i] = int64(le.Uint64(p[76+8*i:]))
+		if dims[i] < 1 || dims[i] > 1<<33 {
+			return nil, fmt.Errorf("hybrid: implausible volume dims %v", dims)
+		}
+	}
+	voxels := dims[0] * dims[1]
+	if voxels/dims[1] != dims[0] || voxels*dims[2]/dims[2] != voxels || voxels*dims[2] > 1<<33 {
+		return nil, fmt.Errorf("hybrid: implausible volume dims %v", dims)
+	}
+	voxels *= dims[2]
+	// Validate sizes against the buffer before allocating the grid, so a
+	// hostile dims field cannot force an arbitrary allocation.
+	off := int64(prelude)
+	rest := int64(len(p)) - off
+	volBytes := voxels * 4
+	if rest < volBytes+8+4 {
+		return nil, fmt.Errorf("hybrid: encoding truncated inside volume (%d bytes left, volume needs %d)", rest, volBytes)
+	}
+	vol, err := NewGrid(int(dims[0]), int(dims[1]), int(dims[2]), r.Bounds)
+	if err != nil {
+		return nil, err
+	}
+	for i := range vol.Data {
+		vol.Data[i] = math.Float32frombits(le.Uint32(p[off+int64(i)*4:]))
+	}
+	off += volBytes
+	r.Volume = vol
+	n := int64(le.Uint64(p[off:]))
+	off += 8
+	if n < 0 || n > 1<<40 {
+		return nil, fmt.Errorf("hybrid: implausible point count %d", n)
+	}
+	// Exactly the point arrays and the checksum must remain.
+	if int64(len(p))-off != n*(24+4+8)+4 {
+		return nil, fmt.Errorf("hybrid: encoding is %d bytes, want %d for %d points",
+			len(p), off+n*36+4, n)
+	}
+	r.Points = make([]vec.V3, n)
+	for i := range r.Points {
+		r.Points[i] = vec.New(
+			math.Float64frombits(le.Uint64(p[off:])),
+			math.Float64frombits(le.Uint64(p[off+8:])),
+			math.Float64frombits(le.Uint64(p[off+16:])),
+		)
+		off += 24
+	}
+	r.PointDensity = make([]float32, n)
+	for i := range r.PointDensity {
+		r.PointDensity[i] = math.Float32frombits(le.Uint32(p[off:]))
+		off += 4
+	}
+	r.OrigIndex = make([]int64, n)
+	for i := range r.OrigIndex {
+		r.OrigIndex[i] = int64(le.Uint64(p[off:]))
+		off += 8
+	}
+	if got, want := le.Uint32(p[off:]), crc32.ChecksumIEEE(p[:off]); got != want {
+		return nil, fmt.Errorf("hybrid: checksum mismatch (buffer %08x, computed %08x)", got, want)
+	}
+	return r, nil
+}

@@ -1,0 +1,133 @@
+package hybrid
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+func codecFixture(t testing.TB) *Representation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]vec.V3, 4000)
+	for i := range pts {
+		pts[i] = vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	}
+	tree, err := octree.Build(pts, octree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Extract(tree, ExtractConfig{VolumeRes: 8, Budget: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestAppendBinaryMatchesWrite: the append-style encoder must produce
+// byte-for-byte the stream Write produces — the wire and file formats
+// are one format.
+func TestAppendBinaryMatchesWrite(t *testing.T) {
+	rep := codecFixture(t)
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := rep.AppendBinary(nil)
+	if !bytes.Equal(enc, buf.Bytes()) {
+		t.Fatalf("AppendBinary (%d bytes) differs from Write (%d bytes)", len(enc), buf.Len())
+	}
+	if int64(len(enc)) != rep.SizeBytes() {
+		t.Errorf("encoding is %d bytes, SizeBytes says %d", len(enc), rep.SizeBytes())
+	}
+
+	// Appending after a prefix leaves the prefix alone and the encoding
+	// intact.
+	prefixed := rep.AppendBinary([]byte("prefix"))
+	if !bytes.Equal(prefixed[:6], []byte("prefix")) || !bytes.Equal(prefixed[6:], enc) {
+		t.Error("AppendBinary with a non-empty dst mangled the stream")
+	}
+}
+
+// TestDecodeBinaryRoundTrip: DecodeBinary inverts AppendBinary and
+// copies everything out of the input buffer.
+func TestDecodeBinaryRoundTrip(t *testing.T) {
+	rep := codecFixture(t)
+	enc := rep.AppendBinary(nil)
+	back, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.AppendBinary(nil), enc) {
+		t.Fatal("decoded representation re-encodes differently")
+	}
+	// Clobber the buffer: the decoded representation must be unaffected
+	// (the remote compute path recycles reply buffers immediately).
+	for i := range enc {
+		enc[i] = 0xAA
+	}
+	if !bytes.Equal(back.AppendBinary(nil), rep.AppendBinary(nil)) {
+		t.Fatal("decoded representation aliases the input buffer")
+	}
+}
+
+// TestDecodeBinaryMalformed: every corruption class errors cleanly —
+// no panic, no giant allocation.
+func TestDecodeBinaryMalformed(t *testing.T) {
+	rep := codecFixture(t)
+	good := rep.AppendBinary(nil)
+
+	flip := func(i int) []byte {
+		out := append([]byte(nil), good...)
+		out[i] ^= 0xff
+		return out
+	}
+	huge := append([]byte(nil), good...)
+	for i := 0; i < 8; i++ {
+		huge[76+i] = 0xff // dims[0] = huge
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"truncated magic": good[:3],
+		"bad magic":       flip(0),
+		"bad version":     flip(4),
+		"truncated body":  good[:len(good)/2],
+		"extra bytes":     append(append([]byte(nil), good...), 0),
+		"flipped point":   flip(len(good) - 100),
+		"flipped crc":     flip(len(good) - 1),
+		"hostile dims":    huge,
+	}
+	for name, data := range cases {
+		if _, err := DecodeBinary(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func FuzzDecodeBinary(f *testing.F) {
+	// A deliberately tiny representation: large seeds make mutation
+	// unproductively slow.
+	pts := make([]vec.V3, 40)
+	rng := rand.New(rand.NewSource(5))
+	for i := range pts {
+		pts[i] = vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	}
+	tree, err := octree.Build(pts, octree.DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	rep, err := Extract(tree, ExtractConfig{VolumeRes: 2, Budget: 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rep.AppendBinary(nil))
+	f.Add([]byte("ACHY"))
+	f.Add(make([]byte, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and never over-allocate on hostile fields.
+		_, _ = DecodeBinary(data)
+	})
+}

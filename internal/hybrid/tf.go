@@ -289,3 +289,32 @@ func (l *LinkedTF) Complementary() bool {
 	}
 	return true
 }
+
+// DefaultTF builds the viewer's default transfer-function pair for a
+// representation: a log-density domain (the halo is thousands of times
+// less dense than the core), a step-ramp volume profile whose
+// breakpoint sits at the extraction boundary, the heat-map color ramp,
+// and a low constant volume opacity so the interior stays visible.
+func DefaultTF(rep *Representation) (*LinkedTF, error) {
+	boundary := 1.0
+	if rep.MaxLeafD > 0 {
+		boundary = rep.Threshold / rep.MaxLeafD
+	}
+	dom := LogDomain(1e4)
+	b := dom(boundary)
+	lo := b / 2
+	hi := math.Min(b*1.5, 1)
+	if hi <= lo {
+		lo, hi = 0.1, 0.5
+	}
+	vol, err := StepRamp(lo, hi, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := NewLinkedTF(vol, HeatMap(), 0.12, boundary)
+	if err != nil {
+		return nil, err
+	}
+	tf.Domain = dom
+	return tf, nil
+}

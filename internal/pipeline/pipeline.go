@@ -18,6 +18,12 @@
 //     (results are re-sequenced, so a multi-worker stage still emits
 //     frames in input order — required for deterministic output files
 //     and bit-identical comparisons against the serial path).
+//   - StageExecutor is the seam under Map: MapExec runs the same
+//     ordering/backpressure/cancellation machinery over any executor,
+//     so a stage body can run in-process (ExecFunc over par.Pool
+//     workers) or on a remote worker process (the distributed-stage
+//     path wired by core.StreamOptions.ExtractAddr) without the engine
+//     knowing the difference.
 //   - Sink and Collect terminate a chain.
 //   - FreeList (freelist.go) recycles per-frame scratch buffers
 //     (projection point slices, framebuffers) through a sync.Pool so a
@@ -46,8 +52,12 @@ type Pipeline struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu  sync.Mutex
-	err error
+	mu       sync.Mutex
+	err      error
+	resolved bool // Wait has fixed the final error
+	cleanups []func()
+
+	cleanupOnce sync.Once
 }
 
 // New returns a pipeline whose stages run under a child of ctx:
@@ -85,6 +95,17 @@ func (p *Pipeline) fail(err error) {
 	p.cancel()
 }
 
+// Defer registers fn to run exactly once after every stage goroutine
+// has exited, in reverse registration order — release hooks for
+// resources a stream owns for its whole lifetime (a dialed remote
+// worker connection, a temp directory). Cleanups run on the first Wait
+// call to observe the drained pipeline, clean or failed.
+func (p *Pipeline) Defer(fn func()) {
+	p.mu.Lock()
+	p.cleanups = append(p.cleanups, fn)
+	p.mu.Unlock()
+}
+
 // Wait blocks until every stage goroutine has exited and returns the
 // first error (nil on a clean run). A run aborted by the parent
 // context reports that context's error, so a truncated stream is
@@ -92,11 +113,25 @@ func (p *Pipeline) fail(err error) {
 // multiple goroutines.
 func (p *Pipeline) Wait() error {
 	p.wg.Wait()
+	p.cleanupOnce.Do(func() {
+		p.mu.Lock()
+		cleanups := p.cleanups
+		p.cleanups = nil
+		p.mu.Unlock()
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	})
 	p.mu.Lock()
-	if p.err == nil {
-		// No stage failed and nobody called Cancel/Fail: any live
-		// cancellation on the shared context came from the parent.
-		p.err = context.Cause(p.ctx)
+	if !p.resolved {
+		if p.err == nil {
+			// No stage failed and nobody called Cancel/Fail: any live
+			// cancellation on the shared context came from the parent.
+			// Resolve exactly once — the release-cancel below must not
+			// turn a later concurrent Wait's nil into a cancellation.
+			p.err = context.Cause(p.ctx)
+		}
+		p.resolved = true
 	}
 	err := p.err
 	p.mu.Unlock()
@@ -202,11 +237,41 @@ type seqItem[T any] struct {
 	val T
 }
 
+// StageExecutor is the seam between the Map machinery — sequence
+// tagging, result re-sequencing, bounded-channel backpressure,
+// first-error cancellation — and where a stage's per-frame work
+// actually runs. Apply is called from up to cfg.Workers goroutines
+// concurrently, so implementations must be safe for concurrent use.
+//
+// The in-process path is ExecFunc: the body runs on this process's
+// par.Pool workers. A remote executor instead ships the frame payload
+// to a worker process and blocks for the reply; with Workers > 1 the
+// stage keeps several frames in flight on one multiplexed connection,
+// overlapping wide-area round-trips, while the shared reorderer
+// re-sequences the out-of-order replies back into frame order.
+type StageExecutor[I, O any] interface {
+	Apply(ctx context.Context, v I) (O, error)
+}
+
+// ExecFunc adapts a plain stage body to a StageExecutor — the
+// in-process execution path.
+type ExecFunc[I, O any] func(ctx context.Context, v I) (O, error)
+
+// Apply implements StageExecutor.
+func (f ExecFunc[I, O]) Apply(ctx context.Context, v I) (O, error) { return f(ctx, v) }
+
 // Map connects in to a new bounded output channel through fn. Up to
 // cfg.Workers frames are processed concurrently on a par.Pool; output
 // order always matches input order regardless of worker count. A fn
 // error fails the pipeline and cancels the stream.
 func Map[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, fn func(ctx context.Context, v I) (O, error)) <-chan O {
+	return MapExec(p, in, cfg, ExecFunc[I, O](fn))
+}
+
+// MapExec is Map with the execution strategy made explicit: the stage
+// machinery (ordering, backpressure, cancellation) is identical
+// whether ex runs the body in-process or on a remote worker.
+func MapExec[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, ex StageExecutor[I, O]) <-chan O {
 	workers := cfg.workers()
 	out := make(chan O, cfg.buf())
 	// Results are buffered to workers+buf so a worker never blocks on a
@@ -231,7 +296,7 @@ func Map[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, fn func(ctx contex
 				if p.ctx.Err() != nil {
 					return
 				}
-				o, err := fn(p.ctx, v)
+				o, err := ex.Apply(p.ctx, v)
 				if err != nil {
 					if p.ctx.Err() == nil {
 						p.fail(stageError(cfg.Name, err))

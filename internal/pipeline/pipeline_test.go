@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -209,5 +210,118 @@ func TestSlicePoolReuse(t *testing.T) {
 	s3 := sp.Get(200)
 	if len(*s3) != 200 {
 		t.Fatalf("len = %d, want 200", len(*s3))
+	}
+}
+
+// countingExecutor is a StageExecutor that tracks concurrent Applies,
+// standing in for a remote executor (per-call blocking round trips,
+// concurrency supplied by the stage's worker goroutines).
+type countingExecutor struct {
+	calls    atomic.Int64
+	inFlight atomic.Int64
+	peak     atomic.Int64
+}
+
+func (e *countingExecutor) Apply(ctx context.Context, v int) (int, error) {
+	cur := e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	for {
+		p := e.peak.Load()
+		if cur <= p || e.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	e.calls.Add(1)
+	select {
+	case <-time.After(2 * time.Millisecond):
+	case <-ctx.Done():
+	}
+	return v * 10, nil
+}
+
+// TestMapExecCustomExecutor: MapExec drives an arbitrary StageExecutor
+// through the same ordering machinery Map uses — results arrive in
+// input order, and Workers callers run concurrently (how a remote
+// stage keeps several frames in flight on one connection).
+func TestMapExecCustomExecutor(t *testing.T) {
+	p := New(context.Background())
+	const n = 64
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	ex := &countingExecutor{}
+	out := MapExec(p, FromSlice(p, 4, vals), StageConfig{Name: "remote", Workers: 8}, ex)
+	got := Collect(p, out)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != n {
+		t.Fatalf("got %d results, want %d", len(*got), n)
+	}
+	for i, v := range *got {
+		if v != i*10 {
+			t.Fatalf("result %d = %d, want %d (order violated)", i, v, i*10)
+		}
+	}
+	if c := ex.calls.Load(); c != n {
+		t.Errorf("executor ran %d times, want %d", c, n)
+	}
+	if pk := ex.peak.Load(); pk < 2 {
+		t.Errorf("peak concurrent Applies = %d, want >= 2 (frames should overlap)", pk)
+	}
+}
+
+// TestDeferRunsOnceAfterDrain: cleanups registered with Defer run
+// exactly once, after every stage goroutine exits, in reverse order —
+// even when Wait is called from several goroutines.
+func TestDeferRunsOnceAfterDrain(t *testing.T) {
+	p := New(context.Background())
+	var stagesLive atomic.Int64
+	var order []int
+	var mu sync.Mutex
+	var runs atomic.Int64
+
+	in := Source(p, 1, func(ctx context.Context, emit func(int) bool) error {
+		stagesLive.Add(1)
+		defer stagesLive.Add(-1)
+		for i := 0; i < 10; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	Sink(p, in, "drop", func(ctx context.Context, v int) error { return nil })
+
+	for i := 0; i < 2; i++ {
+		i := i
+		p.Defer(func() {
+			runs.Add(1)
+			if stagesLive.Load() != 0 {
+				t.Error("cleanup ran while a stage goroutine was still live")
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Wait(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("cleanups ran %d times, want 2", got)
+	}
+	if order[0] != 1 || order[1] != 0 {
+		t.Errorf("cleanup order %v, want reverse registration [1 0]", order)
 	}
 }

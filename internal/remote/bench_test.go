@@ -1,8 +1,11 @@
 package remote
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/hybrid"
+	"repro/internal/octree"
 	"repro/internal/vec"
 )
 
@@ -45,4 +48,69 @@ func BenchmarkRemoteFetch(b *testing.B) {
 	run("fetch/throttled", throttle, true)
 	run("render/local", 0, false)
 	run("render/throttled", throttle, false)
+}
+
+// BenchmarkDistributedExtract compares the extraction stage's three
+// placements: in-process (the local stage path), on a worker over a
+// loopback socket (wire framing + encode/decode cost), and over a
+// modeled wide-area link (the paper's cross-site setting, where the
+// transfer dominates and overlapping in-flight frames is what keeps
+// the pipeline busy). bytes/op tracks the wire cost of one frame;
+// ReportAllocs makes the pooled payload path's steady-state
+// allocation rate visible next to the local one.
+func BenchmarkDistributedExtract(b *testing.B) {
+	pts := testPoints(7, 20_000)
+	tcfg := octree.DefaultConfig()
+	tcfg.Workers = 2
+	ecfg := hybrid.ExtractConfig{VolumeRes: 16, Budget: 2000, Workers: 2}
+
+	w, err := NewWorker("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+
+	// One frame's wire sizes, for the throttle model and SetBytes.
+	reqBytes := int64(len(appendExtractRequest(nil, pts, tcfg, ecfg)))
+	tree, err := octree.Build(pts, tcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := hybrid.Extract(tree, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repBytes := int64(len(rep.AppendBinary(nil)))
+
+	b.Run("local", func(b *testing.B) {
+		b.SetBytes(reqBytes + repBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree, err := octree.Build(pts, tcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hybrid.Extract(tree, ecfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run := func(name string, bps int64) {
+		b.Run(name, func(b *testing.B) {
+			cli := dial(b, w.Addr())
+			cli.SetBandwidth(bps)
+			b.SetBytes(reqBytes + repBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cli.ComputeExtract(context.Background(), pts, tcfg, ecfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("loopback", 0)
+	// Fast enough to keep the bench smoke quick, slow enough that the
+	// modeled link dominates: ~5ms per reply at this frame size.
+	run("throttled", repBytes*200)
 }

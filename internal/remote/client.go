@@ -3,6 +3,7 @@ package remote
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -11,7 +12,9 @@ import (
 	"time"
 
 	"repro/internal/hybrid"
+	"repro/internal/octree"
 	"repro/internal/render"
+	"repro/internal/vec"
 )
 
 // Client is one session against a Service. A single TCP connection
@@ -101,6 +104,14 @@ func (c *Client) readLoop() {
 // roundTrip sends one request and waits for its response, translating
 // opError replies.
 func (c *Client) roundTrip(op byte, payload []byte) (message, error) {
+	return c.roundTripCtx(context.Background(), op, payload)
+}
+
+// roundTripCtx is roundTrip under a caller context: a cancellation
+// abandons the wait (the server may still process the request, but
+// nobody is listening), which is what lets a cancelled pipeline unwind
+// a remote stage promptly.
+func (c *Client) roundTripCtx(ctx context.Context, op byte, payload []byte) (message, error) {
 	c.mu.Lock()
 	if c.readErr != nil {
 		err := c.readErr
@@ -126,6 +137,11 @@ func (c *Client) roundTrip(op byte, payload []byte) (message, error) {
 	select {
 	case msg := <-ch:
 		return checkResponse(msg)
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return message{}, ctx.Err()
 	case <-c.done:
 		// The read loop may have delivered the response just before
 		// the connection died; prefer it over the connection error.
@@ -142,10 +158,12 @@ func (c *Client) roundTrip(op byte, payload []byte) (message, error) {
 	}
 }
 
-// checkResponse translates opError replies.
+// checkResponse translates opError replies into typed errors: the
+// returned chain carries the server's *WireError, so callers can
+// classify with errors.As / CodeOf.
 func checkResponse(msg message) (message, error) {
 	if msg.op == opError {
-		return message{}, fmt.Errorf("remote: server error: %s", msg.payload)
+		return message{}, fmt.Errorf("remote: server error: %w", decodeWireError(msg.payload))
 	}
 	return msg, nil
 }
@@ -218,6 +236,59 @@ func (c *Client) Render(p RenderParams) (*render.Framebuffer, int64, time.Durati
 		return nil, 0, 0, err
 	}
 	return fb, int64(len(msg.payload)), time.Since(start), nil
+}
+
+// Compute runs the named kernel on a Worker with the given request
+// blob, returning the reply blob. Requests multiplex like every other
+// verb, so concurrent Computes on one connection overlap on the wire
+// and on the worker's cores; ctx abandons the wait (first-error
+// cancellation in a pipeline stage). Servers without the kernel — or
+// without the Compute verb at all — answer with a typed WireError
+// (ErrCodeUnknownKernel / ErrCodeUnknownVerb).
+func (c *Client) Compute(ctx context.Context, kernel string, req []byte) ([]byte, error) {
+	buf, err := appendComputeHeader(getBytes(0), kernel)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, req...)
+	msg, err := c.roundTripCtx(ctx, opCompute, buf)
+	putBytes(buf)
+	if err != nil {
+		return nil, err
+	}
+	if msg.op != opComputeOK {
+		return nil, fmt.Errorf("remote: unexpected compute response %#02x", msg.op)
+	}
+	return msg.payload, nil
+}
+
+// ComputeExtract ships one projected point set to the worker's
+// hybrid-extraction kernel and decodes the representation it sends
+// back — the remote form of octree.Build + hybrid.Extract with the
+// same configs, bit-identical to running them locally. Request and
+// reply buffers recycle through the payload pool, so a steady-state
+// distributed stream stops allocating wire scratch after the first few
+// frames in flight.
+func (c *Client) ComputeExtract(ctx context.Context, pts []vec.V3, tcfg octree.Config, ecfg hybrid.ExtractConfig) (*hybrid.Representation, error) {
+	buf, err := appendComputeHeader(getBytes(0), KernelHybridExtract)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendExtractRequest(buf, pts, tcfg, ecfg)
+	msg, err := c.roundTripCtx(ctx, opCompute, buf)
+	putBytes(buf)
+	if err != nil {
+		return nil, err
+	}
+	if msg.op != opComputeOK {
+		return nil, fmt.Errorf("remote: unexpected compute response %#02x", msg.op)
+	}
+	rep, err := hybrid.DecodeBinary(msg.payload)
+	msg.recycle() // DecodeBinary copies; the reply buffer is free again
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // Subscription is a live feed of the server's frame count. Updates is

@@ -1,0 +1,207 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"repro/internal/hybrid"
+	"repro/internal/octree"
+	"repro/internal/vec"
+)
+
+// The Compute verb ships one stage invocation to a Worker:
+//
+//	request payload:  u8 len(kernel) | kernel name | kernel blob
+//	response payload: kernel blob
+//
+// Kernel blobs are opaque to the protocol layer; each kernel defines
+// its own pario-idiom encoding (magic, version, trailing CRC-32) so a
+// stage payload corrupted between the framing checks is still caught.
+// The hybrid-extraction kernel's request blob is below; its reply blob
+// is a hybrid representation in the standard .achy encoding (which
+// carries its own CRC already).
+
+// KernelHybridExtract is the built-in distributed stage kernel:
+// projected point sets in, hybrid representations out. The version
+// suffix is part of the name — an incompatible blob layout gets a new
+// name, and old workers answer it with ErrCodeUnknownKernel instead of
+// misdecoding.
+const KernelHybridExtract = "hybrid.extract.v1"
+
+// maxKernelName bounds the kernel-name field (it is length-prefixed
+// with one byte).
+const maxKernelName = 255
+
+// ---- payload buffer pool --------------------------------------------
+
+// payloadPool recycles wire payload buffers: inbound message bodies,
+// compute request encodings, and kernel reply encodings. A
+// steady-state distributed stream reuses a bounded set of buffers
+// instead of allocating one per frame per hop — the wire-path
+// equivalent of the pipeline's FreeList-recycled scratch.
+var payloadPool sync.Pool // holds *[]byte
+
+// getBytes returns a length-n buffer, reusing a pooled backing array
+// when one is large enough.
+func getBytes(n int) []byte {
+	if bp, ok := payloadPool.Get().(*[]byte); ok {
+		if b := *bp; cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBytes recycles a buffer obtained from getBytes (or any buffer the
+// caller is done with). The caller must not touch b again.
+func putBytes(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
+
+// ---- compute request framing ----------------------------------------
+
+// appendComputeHeader appends the kernel-name prefix of a Compute
+// request payload.
+func appendComputeHeader(dst []byte, kernel string) ([]byte, error) {
+	if len(kernel) == 0 || len(kernel) > maxKernelName {
+		return dst, fmt.Errorf("remote: kernel name %q length out of range [1, %d]", kernel, maxKernelName)
+	}
+	dst = append(dst, byte(len(kernel)))
+	return append(dst, kernel...), nil
+}
+
+// decodeComputeRequest splits a Compute payload into the kernel name
+// and its blob. The blob aliases p.
+func decodeComputeRequest(p []byte) (kernel string, blob []byte, err error) {
+	if len(p) < 1 {
+		return "", nil, fmt.Errorf("remote: empty compute payload")
+	}
+	n := int(p[0])
+	if n == 0 || len(p) < 1+n {
+		return "", nil, fmt.Errorf("remote: compute payload truncated inside kernel name (%d bytes, name %d)", len(p), n)
+	}
+	return string(p[1 : 1+n]), p[1+n:], nil
+}
+
+// ---- hybrid-extraction kernel blob ----------------------------------
+
+// The extract request blob ("ACPT" — accelerator point set) carries
+// the projected point set together with the partition and extraction
+// configs, so the worker reproduces the local Build+Extract exactly:
+//
+//	magic "ACPT" | u32 version | i64 MaxLevel | i64 LeafCap |
+//	i64 TreeWorkers | f64 Pad | i64 VolumeRes | f64 Threshold |
+//	i64 Budget | i64 ExtractWorkers | i64 n | n × (3 f64) |
+//	u32 crc32 (all preceding bytes)
+//
+// Worker fields ship verbatim: octree.Build is bit-identical at every
+// worker count, and hybrid.Extract's volume splat depends on its
+// worker count only through slab boundaries — shipping the requester's
+// value keeps the distributed result bit-identical to the local run
+// (with Workers 0, both sides auto-size, which matches whenever the
+// two processes see the same core count — pin a count for bit-exact
+// runs across heterogeneous hosts).
+
+var magicPointSet = [4]byte{'A', 'C', 'P', 'T'}
+
+const (
+	pointSetVersion = 1
+	// extractReqFixed is the blob size without the points: magic,
+	// version, 8 config words, count, crc.
+	extractReqFixed = 4 + 4 + 8*8 + 8 + 4
+)
+
+// appendExtractRequest appends the extract kernel's request blob.
+func appendExtractRequest(dst []byte, pts []vec.V3, tcfg octree.Config, ecfg hybrid.ExtractConfig) []byte {
+	need := extractReqFixed + 24*len(pts)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	le := binary.LittleEndian
+	dst = append(dst, magicPointSet[:]...)
+	dst = le.AppendUint32(dst, pointSetVersion)
+	for _, v := range []uint64{
+		uint64(int64(tcfg.MaxLevel)),
+		uint64(int64(tcfg.LeafCap)),
+		uint64(int64(tcfg.Workers)),
+		math.Float64bits(tcfg.Pad),
+		uint64(int64(ecfg.VolumeRes)),
+		math.Float64bits(ecfg.Threshold),
+		uint64(ecfg.Budget),
+		uint64(int64(ecfg.Workers)),
+	} {
+		dst = le.AppendUint64(dst, v)
+	}
+	dst = le.AppendUint64(dst, uint64(int64(len(pts))))
+	for _, p := range pts {
+		dst = le.AppendUint64(dst, math.Float64bits(p.X))
+		dst = le.AppendUint64(dst, math.Float64bits(p.Y))
+		dst = le.AppendUint64(dst, math.Float64bits(p.Z))
+	}
+	return le.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeExtractRequest parses an extract request blob, verifying the
+// checksum. The returned points reuse scratch's backing array when it
+// is large enough; nothing aliases p, so the caller may recycle the
+// blob immediately.
+func decodeExtractRequest(p []byte, scratch []vec.V3) (pts []vec.V3, tcfg octree.Config, ecfg hybrid.ExtractConfig, err error) {
+	le := binary.LittleEndian
+	if len(p) < extractReqFixed {
+		return nil, tcfg, ecfg, fmt.Errorf("remote: extract request truncated (%d bytes)", len(p))
+	}
+	if [4]byte(p[:4]) != magicPointSet {
+		return nil, tcfg, ecfg, fmt.Errorf("remote: bad point-set magic %q", p[:4])
+	}
+	if v := le.Uint32(p[4:]); v != pointSetVersion {
+		return nil, tcfg, ecfg, fmt.Errorf("remote: unsupported point-set version %d", v)
+	}
+	n := int64(le.Uint64(p[72:]))
+	if n < 0 || n > int64(maxBody)/24 {
+		return nil, tcfg, ecfg, fmt.Errorf("remote: implausible point count %d", n)
+	}
+	if int64(len(p)) != int64(extractReqFixed)+24*n {
+		return nil, tcfg, ecfg, fmt.Errorf("remote: extract request is %d bytes, want %d for %d points",
+			len(p), int64(extractReqFixed)+24*n, n)
+	}
+	crcOff := len(p) - 4
+	if got, want := le.Uint32(p[crcOff:]), crc32.ChecksumIEEE(p[:crcOff]); got != want {
+		return nil, tcfg, ecfg, fmt.Errorf("remote: extract request checksum mismatch (wire %08x, computed %08x)", got, want)
+	}
+	tcfg = octree.Config{
+		MaxLevel: int(int64(le.Uint64(p[8:]))),
+		LeafCap:  int(int64(le.Uint64(p[16:]))),
+		Workers:  int(int64(le.Uint64(p[24:]))),
+		Pad:      math.Float64frombits(le.Uint64(p[32:])),
+	}
+	ecfg = hybrid.ExtractConfig{
+		VolumeRes: int(int64(le.Uint64(p[40:]))),
+		Threshold: math.Float64frombits(le.Uint64(p[48:])),
+		Budget:    int64(le.Uint64(p[56:])),
+		Workers:   int(int64(le.Uint64(p[64:]))),
+	}
+	if int64(cap(scratch)) >= n {
+		pts = scratch[:n]
+	} else {
+		pts = make([]vec.V3, n)
+	}
+	for i := range pts {
+		off := extractReqFixed - 4 + 24*i // points follow the fixed fields, CRC trails
+		pts[i] = vec.New(
+			math.Float64frombits(le.Uint64(p[off:])),
+			math.Float64frombits(le.Uint64(p[off+8:])),
+			math.Float64frombits(le.Uint64(p[off+16:])),
+		)
+	}
+	return pts, tcfg, ecfg, nil
+}

@@ -3,6 +3,7 @@ package remote
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -12,7 +13,7 @@ import (
 	"repro/internal/vec"
 )
 
-// Wire protocol v1. Every connection starts with a handshake:
+// Wire protocol v2. Every connection starts with a handshake:
 //
 //	client → server: magic "ACVP" | u32 version
 //	server → client: magic "ACVP" | u32 version | u32 flags
@@ -27,13 +28,20 @@ import (
 // Requests carry a client-chosen ID; every response echoes it, so a
 // client can keep many requests in flight on one connection and match
 // replies out of order — this is what lets the viewer's prefetcher
-// overlap WAN fetches. Server-pushed frame notifications echo the
+// overlap WAN fetches and the distributed extract stage overlap
+// in-flight frames. Server-pushed frame notifications echo the
 // Subscribe request's ID.
+//
+// v2 over v1: the Compute verb (remote stage execution against a
+// Worker's named kernels), and error replies now carry a one-byte
+// error code before the message text (WireError), so a client can
+// distinguish "this server does not speak that verb" from an
+// application failure without string matching.
 
 var protoMagic = [4]byte{'A', 'C', 'V', 'P'}
 
 const (
-	protoVersion = 1
+	protoVersion = 2
 
 	// maxBody bounds a message body so a corrupt or hostile length
 	// prefix cannot cause an arbitrary allocation.
@@ -50,21 +58,93 @@ const (
 	opGet       byte = 0x02
 	opSubscribe byte = 0x03
 	opRender    byte = 0x04
+	opCompute   byte = 0x05
 
 	opListOK      byte = 0x81
 	opGetOK       byte = 0x82
 	opSubscribeOK byte = 0x83
 	opRenderOK    byte = 0x84
+	opComputeOK   byte = 0x85
 
 	opNotify byte = 0x90
 	opError  byte = 0xFF
 )
 
-// message is one decoded protocol frame.
+// ErrorCode classifies an error reply so clients can react to the
+// class without parsing the message text.
+type ErrorCode uint8
+
+const (
+	// ErrCodeGeneric is an unclassified application failure (missing
+	// frame, render error, kernel failure).
+	ErrCodeGeneric ErrorCode = 0
+	// ErrCodeUnknownVerb: the request was well-framed but its opcode is
+	// not one this service speaks. The connection stays usable — an
+	// unknown verb says nothing about the framing.
+	ErrCodeUnknownVerb ErrorCode = 1
+	// ErrCodeBadRequest: the verb is known but its payload did not
+	// decode.
+	ErrCodeBadRequest ErrorCode = 2
+	// ErrCodeUnknownKernel: a Compute named a kernel the worker has not
+	// registered.
+	ErrCodeUnknownKernel ErrorCode = 3
+)
+
+// WireError is a typed protocol error: what a service sends in an
+// opError reply and what client calls return for one. Test with
+// errors.As plus the Code field (or the CodeOf shortcut).
+type WireError struct {
+	Code ErrorCode
+	Msg  string
+}
+
+func (e *WireError) Error() string { return e.Msg }
+
+// CodeOf extracts the error code from err's chain, or ErrCodeGeneric
+// if no WireError is present.
+func CodeOf(err error) ErrorCode {
+	var we *WireError
+	if errors.As(err, &we) {
+		return we.Code
+	}
+	return ErrCodeGeneric
+}
+
+// encodeWireError builds an opError payload: u8 code | message text.
+func encodeWireError(err error) []byte {
+	code := ErrCodeGeneric
+	var we *WireError
+	if errors.As(err, &we) {
+		code = we.Code
+	}
+	return append([]byte{byte(code)}, err.Error()...)
+}
+
+// decodeWireError parses an opError payload. A legacy empty payload
+// decodes as a generic error rather than failing.
+func decodeWireError(p []byte) *WireError {
+	if len(p) == 0 {
+		return &WireError{Code: ErrCodeGeneric, Msg: "unspecified server error"}
+	}
+	return &WireError{Code: ErrorCode(p[0]), Msg: string(p[1:])}
+}
+
+// message is one decoded protocol frame. body is the pooled backing
+// buffer of payload (when the message came off the wire); consumers
+// that fully copy what they need out of payload may recycle it.
 type message struct {
 	reqID   uint64
 	op      byte
 	payload []byte
+	body    []byte
+}
+
+// recycle returns the message's backing buffer to the payload pool.
+// The caller must not touch payload afterwards.
+func (m message) recycle() {
+	if m.body != nil {
+		putBytes(m.body)
+	}
 }
 
 // writeMessage frames and sends one message. The caller serializes
@@ -112,21 +192,25 @@ func readMessage(r io.Reader, rateBps int64) (message, error) {
 	if n > maxBody {
 		return message{}, fmt.Errorf("remote: implausible message body %d", n)
 	}
-	body := make([]byte, n)
+	body := getBytes(int(n))
 	if err := readThrottled(r, body, rateBps); err != nil {
+		putBytes(body)
 		return message{}, fmt.Errorf("remote: reading message body: %w", err)
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		putBytes(body)
 		return message{}, fmt.Errorf("remote: reading message checksum: %w", err)
 	}
 	if got, want := le.Uint32(crcBuf[:]), crc32.ChecksumIEEE(body); got != want {
+		putBytes(body)
 		return message{}, fmt.Errorf("remote: message checksum mismatch (wire %08x, computed %08x)", got, want)
 	}
 	return message{
 		reqID:   le.Uint64(body[0:]),
 		op:      body[8],
 		payload: body[msgOverhead:],
+		body:    body,
 	}, nil
 }
 
@@ -234,7 +318,7 @@ func decodeListInfo(p []byte) (ListInfo, error) {
 // full hybrid frame, the client ships camera and transfer-function
 // parameters and the server renders on its tile-binned rasterizer,
 // returning an RLE-compressed framebuffer. Zero-valued TF fields mean
-// the server's defaults (core.DefaultTF), so a zero-TF render is
+// the server's defaults (hybrid.DefaultTF), so a zero-TF render is
 // bit-identical to core.RenderFrame run locally.
 type RenderParams struct {
 	Frame         int

@@ -9,6 +9,10 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/hybrid"
+	"repro/internal/octree"
+	"repro/internal/vec"
 )
 
 // frame builds a raw protocol frame with an arbitrary (possibly bogus)
@@ -122,8 +126,11 @@ func dialRaw(t *testing.T, addr string) net.Conn {
 }
 
 // TestServerRejectsUnknownOpcode: a well-framed message with an
-// unassigned opcode gets an error response and a closed connection —
-// no panic, no stuck handler.
+// unassigned opcode gets a *typed* protocol error (ErrCodeUnknownVerb)
+// and the connection stays usable — framing integrity is intact, so a
+// client mixing up the two service roles keeps its session. Compute
+// against a plain frame service takes the same path (the verb belongs
+// to Worker), covered from the client side in TestComputeAgainstService.
 func TestServerRejectsUnknownOpcode(t *testing.T) {
 	srv, _ := serveMem(t, testReps(t, 1))
 	conn := dialRaw(t, srv.Addr())
@@ -131,6 +138,7 @@ func TestServerRejectsUnknownOpcode(t *testing.T) {
 	if err := writeMessage(bw, 5, 0x7e, nil); err != nil {
 		t.Fatal(err)
 	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	msg, err := readMessage(conn, 0)
 	if err != nil {
 		t.Fatalf("no error response: %v", err)
@@ -138,10 +146,15 @@ func TestServerRejectsUnknownOpcode(t *testing.T) {
 	if msg.op != opError || msg.reqID != 5 {
 		t.Errorf("got op %#02x req %d, want opError echoing req 5", msg.op, msg.reqID)
 	}
-	// The server hangs up after an unknown opcode.
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	if _, err := readMessage(conn, 0); err == nil {
-		t.Error("connection still open after unknown opcode")
+	if we := decodeWireError(msg.payload); we.Code != ErrCodeUnknownVerb {
+		t.Errorf("error code %d, want ErrCodeUnknownVerb (%q)", we.Code, we.Msg)
+	}
+	// The connection survives: a known verb on the same session works.
+	if err := writeMessage(bw, 6, opList, nil); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = readMessage(conn, 0); err != nil || msg.op != opListOK || msg.reqID != 6 {
+		t.Errorf("connection unusable after unknown opcode: op %#02x, err %v", msg.op, err)
 	}
 }
 
@@ -218,5 +231,101 @@ func TestOversizedGetPayload(t *testing.T) {
 	}
 	if msg, err = readMessage(conn, 0); err != nil || msg.op != opListOK {
 		t.Errorf("connection dead after payload error: op %#02x, err %v", msg.op, err)
+	}
+}
+
+// TestDecodeMalformedComputeRequests covers the Compute framing layer:
+// kernel-name damage and every corruption class of the extract blob's
+// pario-idiom encoding. Every case must error cleanly.
+func TestDecodeMalformedComputeRequests(t *testing.T) {
+	pts := []vec.V3{vec.New(1, 2, 3), vec.New(4, 5, 6)}
+	blob := appendExtractRequest(nil, pts, octree.DefaultConfig(), hybrid.ExtractConfig{VolumeRes: 4, Budget: 1})
+
+	reqCases := map[string][]byte{
+		"empty":          {},
+		"zero name len":  {0, 'x'},
+		"truncated name": {10, 'a', 'b'},
+	}
+	for name, data := range reqCases {
+		if _, _, err := decodeComputeRequest(data); err == nil {
+			t.Errorf("compute request %s: decoded without error", name)
+		}
+	}
+
+	// A huge claimed point count must be rejected before any allocation.
+	hugeCount := append([]byte(nil), blob...)
+	for i := 0; i < 8; i++ {
+		hugeCount[72+i] = 0xff
+	}
+	blobCases := map[string][]byte{
+		"empty":              {},
+		"truncated fixed":    blob[:20],
+		"bad magic":          flipByte(blob, 0),
+		"bad version":        flipByte(blob, 4),
+		"truncated points":   blob[:len(blob)-10],
+		"extra bytes":        append(append([]byte(nil), blob...), 1, 2, 3),
+		"flipped config":     flipByte(blob, 16),
+		"flipped point byte": flipByte(blob, 85),
+		"flipped crc":        flipByte(blob, len(blob)-1),
+		"hostile count":      hugeCount,
+	}
+	for name, data := range blobCases {
+		if _, _, _, err := decodeExtractRequest(data, nil); err == nil {
+			t.Errorf("extract blob %s: decoded without error", name)
+		}
+	}
+
+	// And the good blob round-trips exactly.
+	got, tcfg, ecfg, err := decodeExtractRequest(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) || got[0] != pts[0] || got[1] != pts[1] {
+		t.Errorf("points mangled in round trip: %v", got)
+	}
+	if tcfg != octree.DefaultConfig() {
+		t.Errorf("tree config mangled: %+v", tcfg)
+	}
+	if (ecfg != hybrid.ExtractConfig{VolumeRes: 4, Budget: 1}) {
+		t.Errorf("extract config mangled: %+v", ecfg)
+	}
+}
+
+// FuzzComputeFraming is the fourth protocol fuzzer: the Compute
+// request splitter and the extract blob decoder must never panic or
+// over-allocate on hostile input.
+func FuzzComputeFraming(f *testing.F) {
+	blob := appendExtractRequest(nil,
+		[]vec.V3{vec.New(1, 2, 3)}, octree.DefaultConfig(), hybrid.ExtractConfig{VolumeRes: 4, Budget: 1})
+	req, err := appendComputeHeader(nil, KernelHybridExtract)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(req, blob...))
+	f.Add(blob)
+	f.Add([]byte{1, 'k'})
+	f.Add(make([]byte, 96))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if kernel, blob, err := decodeComputeRequest(data); err == nil {
+			_ = kernel
+			_, _, _, _ = decodeExtractRequest(blob, nil)
+		}
+		_, _, _, _ = decodeExtractRequest(data, nil)
+	})
+}
+
+// TestWireErrorRoundTrip: typed errors survive the wire encoding, and
+// legacy empty payloads decode to a generic error.
+func TestWireErrorRoundTrip(t *testing.T) {
+	in := &WireError{Code: ErrCodeUnknownKernel, Msg: "remote: no kernel"}
+	out := decodeWireError(encodeWireError(in))
+	if out.Code != in.Code || out.Msg != in.Msg {
+		t.Errorf("round trip mangled error: %+v", out)
+	}
+	if plain := decodeWireError(encodeWireError(io.ErrUnexpectedEOF)); plain.Code != ErrCodeGeneric {
+		t.Errorf("plain error encoded with code %d, want generic", plain.Code)
+	}
+	if empty := decodeWireError(nil); empty.Code != ErrCodeGeneric || empty.Msg == "" {
+		t.Errorf("empty payload decoded to %+v", empty)
 	}
 }

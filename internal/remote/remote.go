@@ -16,7 +16,7 @@
 //
 // A Service serves any FrameStore to concurrent clients over a
 // versioned, length-prefixed, CRC-framed, request-ID-multiplexed
-// protocol (protocol.go) with four verbs:
+// protocol (protocol.go) with four store verbs:
 //
 //   - List: frame range and liveness
 //   - Get: full-frame transfer (fetch-and-render-locally); the
@@ -29,7 +29,17 @@
 //     bit-identical to a local render at ~1-2 orders of magnitude
 //     fewer bytes than the frame itself
 //
+// The protocol's fifth verb, Compute, belongs to the other service
+// type: a Worker hosts named stage kernels (starting with hybrid
+// extraction: projected point sets in, hybrid representations out,
+// both in pario-idiom CRC-framed encodings), so the pipeline engine
+// can place a stage's per-frame work on another process or host —
+// core.StreamOptions.ExtractAddr wires it in, cmd/vizworker hosts it.
+// A service answers verbs it does not speak with a typed
+// ErrCodeUnknownVerb error and keeps the connection.
+//
 // Because responses are matched to requests by ID, one connection
 // carries many requests in flight: the viewer's prefetcher overlaps
-// its WAN fetches on a single session.
+// its WAN fetches — and a distributed stage its in-flight frames — on
+// a single session.
 package remote

@@ -11,11 +11,11 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/octree"
 	"repro/internal/render"
 	"repro/internal/vec"
+	"repro/internal/volren"
 )
 
 func testReps(t testing.TB, n int) []*hybrid.Representation {
@@ -217,11 +217,11 @@ func TestRenderMatchesLocal(t *testing.T) {
 
 	// The thin-client contract: the shipped image is bit-identical to
 	// fetching the frame and rendering locally.
-	tf, err := core.DefaultTF(reps[1])
+	tf, err := hybrid.DefaultTF(reps[1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	localFB, _, _, err := core.RenderFrame(reps[1], tf, 96, 72, params.ViewDir)
+	localFB, _, _, err := volren.RenderStill(reps[1], tf, 96, 72, params.ViewDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +294,11 @@ func TestMultiClientStress(t *testing.T) {
 	reps := testReps(t, 4)
 	srv, store := serveMem(t, reps)
 
-	tf, err := core.DefaultTF(reps[2])
+	tf, err := hybrid.DefaultTF(reps[2])
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantFB, _, _, err := core.RenderFrame(reps[2], tf, 48, 48, vec.New(0.4, 0.3, 1))
+	wantFB, _, _, err := volren.RenderStill(reps[2], tf, 48, 48, vec.New(0.4, 0.3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

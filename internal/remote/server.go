@@ -1,0 +1,111 @@
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// server is the connection plumbing shared by the two service types
+// (Service, the store server; Worker, the compute server): it owns the
+// listening socket, tracks live connections, and hands each accepted
+// connection to the service's handler on its own goroutine. Close
+// severs everything and waits for all handlers to unwind.
+type server struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// newServer listens on addr and serves each accepted connection with
+// handle.
+func newServer(addr string, handle func(net.Conn)) (*server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	s := &server{ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop(handle)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, severs every connection, and waits for all
+// handlers to unwind.
+func (s *server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *server) acceptLoop(handle func(net.Conn)) {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			handle(conn)
+		}()
+	}
+}
+
+// connWriter serializes response writes from concurrent request
+// handlers and the subscription notifier onto one connection. A write
+// error severs the connection: the response stream can no longer be
+// trusted, and closing unblocks the read loop so the handler unwinds.
+type connWriter struct {
+	conn net.Conn
+	mu   sync.Mutex
+	bw   *bufio.Writer
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	return &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+}
+
+func (w *connWriter) send(reqID uint64, op byte, payload []byte) error {
+	w.mu.Lock()
+	err := writeMessage(w.bw, reqID, op, payload)
+	w.mu.Unlock()
+	if err != nil {
+		w.conn.Close()
+	}
+	return err
+}
+
+// sendErr answers a request with a typed error reply (WireError code +
+// message); non-WireErrors go out as ErrCodeGeneric.
+func (w *connWriter) sendErr(reqID uint64, err error) error {
+	return w.send(reqID, opError, encodeWireError(err))
+}

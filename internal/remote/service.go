@@ -7,30 +7,25 @@ import (
 	"net"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/hybrid"
 	"repro/internal/render"
+	"repro/internal/volren"
 )
 
 // Service is the visualization server: it owns a listening socket and
-// serves a FrameStore to any number of concurrent clients over the v1
+// serves a FrameStore to any number of concurrent clients over the v2
 // protocol. Each connection multiplexes requests by ID — List, Get
 // (full-frame transfer), Subscribe (live-frame push when the store is
 // a LiveStore, e.g. a pipeline publishing into a LiveRing), and Render
 // (thin-client mode: the server renders on its tile-binned rasterizer
 // and ships an RLE-compressed framebuffer instead of the frame).
+// Compute requests belong to the Worker service; a Service answers
+// them — like any other verb it does not speak — with a typed
+// ErrCodeUnknownVerb error and keeps the connection open.
 type Service struct {
-	ln    net.Listener
+	srv   *server
 	store FrameStore
-	wg    sync.WaitGroup
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
 }
-
-// LiveRing is the FrameSink the streaming pipelines publish into.
-var _ core.FrameSink = (*LiveRing)(nil)
 
 // NewService starts a service for store on addr (use "127.0.0.1:0" for
 // an ephemeral port).
@@ -38,97 +33,37 @@ func NewService(addr string, store FrameStore) (*Service, error) {
 	if store == nil {
 		return nil, fmt.Errorf("remote: nil frame store")
 	}
-	ln, err := net.Listen("tcp", addr)
+	s := &Service{store: store}
+	srv, err := newServer(addr, s.handle)
 	if err != nil {
-		return nil, fmt.Errorf("remote: %w", err)
+		return nil, err
 	}
-	s := &Service{ln: ln, store: store, conns: make(map[net.Conn]struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.srv = srv
 	return s, nil
 }
 
 // Addr returns the listening address.
-func (s *Service) Addr() string { return s.ln.Addr().String() }
+func (s *Service) Addr() string { return s.srv.Addr() }
 
 // Close stops accepting, severs every connection, and waits for all
 // handlers to unwind.
-func (s *Service) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *Service) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				conn.Close()
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-			}()
-			s.handle(conn)
-		}()
-	}
-}
-
-// connWriter serializes response writes from concurrent request
-// handlers and the subscription notifier onto one connection. A write
-// error severs the connection: the response stream can no longer be
-// trusted, and closing unblocks the read loop so the handler unwinds.
-type connWriter struct {
-	conn net.Conn
-	mu   sync.Mutex
-	bw   *bufio.Writer
-}
-
-func (w *connWriter) send(reqID uint64, op byte, payload []byte) error {
-	w.mu.Lock()
-	err := writeMessage(w.bw, reqID, op, payload)
-	w.mu.Unlock()
-	if err != nil {
-		w.conn.Close()
-	}
-	return err
-}
-
-func (w *connWriter) sendErr(reqID uint64, err error) error {
-	return w.send(reqID, opError, []byte(err.Error()))
-}
+func (s *Service) Close() error { return s.srv.Close() }
 
 // handle runs one connection: handshake, then a read loop dispatching
 // each request to its own goroutine so expensive renders don't stall
-// pipelined fetches. Any framing error (bad length, bad CRC, unknown
-// opcode) terminates the connection — the stream can no longer be
-// trusted.
+// pipelined fetches. A framing error (bad length, bad CRC) terminates
+// the connection — the stream can no longer be trusted. A well-framed
+// request for a verb this service does not speak is answered with a
+// typed ErrCodeUnknownVerb error and the connection stays up: framing
+// integrity is intact, and the two service roles share one protocol —
+// a client that sends Compute to a frame service (or Get to a worker)
+// deserves an answer it can classify, not a dropped session.
 func (s *Service) handle(conn net.Conn) {
 	if err := serverHello(conn); err != nil {
 		return
 	}
 	br := bufio.NewReaderSize(conn, 1<<16)
-	w := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+	w := newConnWriter(conn)
 
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
@@ -175,8 +110,12 @@ func (s *Service) handle(conn net.Conn) {
 				return
 			}
 		default:
-			w.sendErr(msg.reqID, fmt.Errorf("remote: unknown opcode %#02x", msg.op))
-			return
+			if w.sendErr(msg.reqID, &WireError{
+				Code: ErrCodeUnknownVerb,
+				Msg:  fmt.Sprintf("remote: service does not speak opcode %#02x", msg.op),
+			}) != nil {
+				return
+			}
 		}
 	}
 }
@@ -189,7 +128,10 @@ func (s *Service) serveRequest(w *connWriter, msg message) {
 
 	case opGet:
 		if len(msg.payload) != 4 {
-			w.sendErr(msg.reqID, fmt.Errorf("remote: get payload %d bytes, want 4", len(msg.payload)))
+			w.sendErr(msg.reqID, &WireError{
+				Code: ErrCodeBadRequest,
+				Msg:  fmt.Sprintf("remote: get payload %d bytes, want 4", len(msg.payload)),
+			})
 			return
 		}
 		idx := int(int32(binary.LittleEndian.Uint32(msg.payload)))
@@ -209,7 +151,7 @@ func (s *Service) serveRequest(w *connWriter, msg message) {
 	case opRender:
 		params, err := decodeRenderParams(msg.payload)
 		if err != nil {
-			w.sendErr(msg.reqID, err)
+			w.sendErr(msg.reqID, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()})
 			return
 		}
 		blob, err := s.renderFrame(params)
@@ -234,15 +176,16 @@ func (s *Service) encodedFrame(i int) ([]byte, error) {
 	return encodeRep(rep)
 }
 
-// renderFrame runs the server-side render: the exact core.RenderFrame
-// path a desktop viewer runs locally, so the shipped image is
-// bit-identical to a local render of the fetched frame.
+// renderFrame runs the server-side render: the exact volren.RenderStill
+// path a desktop viewer runs locally (core.RenderFrame), so the
+// shipped image is bit-identical to a local render of the fetched
+// frame.
 func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
 	rep, err := s.store.Frame(p.Frame)
 	if err != nil {
 		return nil, err
 	}
-	tf, err := core.DefaultTF(rep)
+	tf, err := hybrid.DefaultTF(rep)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +195,7 @@ func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
 	if p.LogDomainK > 0 {
 		tf.Domain = hybrid.LogDomain(p.LogDomainK)
 	}
-	fb, _, _, err := core.RenderFrame(rep, tf, p.Width, p.Height, p.ViewDir)
+	fb, _, _, err := volren.RenderStill(rep, tf, p.Width, p.Height, p.ViewDir)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package remote
 
 import (
-	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,9 +21,9 @@ type FrameStore interface {
 // The write side of the service is core.FrameSink: a running pipeline
 // publishes each extracted frame through StreamOptions.Sink /
 // FieldStreamOptions.Sink, so remote viewers watch the simulation
-// while it computes. LiveRing implements it (asserted in service.go);
-// the interface lives in core because core is the consumer and remote
-// already depends on core for server-side rendering.
+// while it computes. LiveRing implements it (asserted in core, which
+// sits above this package — core places distributed stages on remote
+// workers, so remote must not import it back).
 
 // LiveStore extends FrameStore with change notification: Watch
 // registers fn to be called with the new frame count after each
@@ -46,13 +45,10 @@ type firstFrameStore interface {
 	FirstFrame() int
 }
 
-// encodeRep serializes a representation to its wire form.
+// encodeRep serializes a representation to its wire form (identical
+// bytes to Representation.Write, without the streaming layer).
 func encodeRep(rep *hybrid.Representation) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := rep.Write(&buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return rep.AppendBinary(nil), nil
 }
 
 // ---- MemStore --------------------------------------------------------

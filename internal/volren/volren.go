@@ -268,3 +268,26 @@ func RenderHybrid(rep *hybrid.Representation, tf *hybrid.LinkedTF,
 	vr.Render(fb, cam)
 	return rast, vr, nil
 }
+
+// RenderStill renders a hybrid representation from the given view
+// direction into a fresh w x h framebuffer with the standard
+// experiment camera (LookAtBounds over the representation's bounds),
+// returning the frame and both renderer stat blocks. It is the
+// one-call render path shared by the core façade, the remote service's
+// thin-client mode, and the viewer — all of which must produce
+// bit-identical images for the same representation and TF.
+func RenderStill(rep *hybrid.Representation, tf *hybrid.LinkedTF, w, h int, viewDir vec.V3) (*render.Framebuffer, *render.Rasterizer, *Renderer, error) {
+	fb, err := render.NewFramebuffer(w, h)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cam, err := render.LookAtBounds(rep.Bounds, viewDir, math.Pi/3, float64(w)/float64(h))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rast, vr, err := RenderHybrid(rep, tf, fb, cam, 1.5, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return fb, rast, vr, nil
+}

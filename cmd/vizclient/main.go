@@ -9,11 +9,18 @@
 //
 //	vizclient -addr HOST:9920 -list
 //	vizclient -addr HOST:9920 -fetch 3 -out frame3.png
-//	vizclient -addr HOST:9920 -render 3 -out frame3.png
+//	vizclient -addr HOST:9920 -render 3 -quality preview -out frame3.png
 //	vizclient -addr HOST:9920 -follow -out live.png
+//	vizclient -addr HOST:9920 -follow -delta -out live.png
 //
 // -bw models the wide-area link in bytes/s (0 = unthrottled), printing
 // the transfer economics the hybrid representation is designed around.
+// -quality selects the server-render tier: "lossless" (default,
+// bit-identical to a local render) or "preview" (quantized 8-bit
+// color, several times smaller on the wire). -delta switches follow
+// mode from server renders to local renders over XOR-delta frame
+// fetches: after the first full frame, each update ships only what
+// changed.
 package main
 
 import (
@@ -22,9 +29,11 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/remote"
+	"repro/internal/render"
 	"repro/internal/vec"
 )
 
@@ -32,19 +41,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vizclient: ")
 	var (
-		addr   = flag.String("addr", "127.0.0.1:9920", "service address")
-		list   = flag.Bool("list", false, "list the server's frames")
-		fetch  = flag.Int("fetch", -1, "fetch this frame and render locally")
-		rend   = flag.Int("render", -1, "render this frame server-side")
-		follow = flag.Bool("follow", false, "subscribe and server-render every new frame")
-		out    = flag.String("out", "frame.png", "output PNG (follow mode: _NNNN inserted)")
-		size   = flag.Int("size", 512, "image size in pixels (square)")
-		view   = flag.String("view", "0.4,0.3,1", "view direction dx,dy,dz")
-		bw     = flag.Int64("bw", 0, "modeled link bandwidth in bytes/s (0 = unthrottled)")
+		addr    = flag.String("addr", "127.0.0.1:9920", "service address")
+		list    = flag.Bool("list", false, "list the server's frames")
+		fetch   = flag.Int("fetch", -1, "fetch this frame and render locally")
+		rend    = flag.Int("render", -1, "render this frame server-side")
+		follow  = flag.Bool("follow", false, "subscribe and server-render every new frame")
+		out     = flag.String("out", "frame.png", "output PNG (follow mode: _NNNN inserted)")
+		size    = flag.Int("size", 512, "image size in pixels (square)")
+		view    = flag.String("view", "0.4,0.3,1", "view direction dx,dy,dz")
+		bw      = flag.Int64("bw", 0, "modeled link bandwidth in bytes/s (0 = unthrottled)")
+		quality = flag.String("quality", "lossless", "server render tier: lossless or preview")
+		delta   = flag.Bool("delta", false, "follow mode: fetch frames as XOR-deltas and render locally")
 	)
 	flag.Parse()
 
 	dir, err := parseVec(*view)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tier, err := parseQuality(*quality)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +101,7 @@ func main() {
 
 	case *rend >= 0:
 		fb, wire, took, err := cli.Render(remote.RenderParams{
-			Frame: *rend, Width: *size, Height: *size, ViewDir: dir,
+			Frame: *rend, Width: *size, Height: *size, ViewDir: dir, Quality: tier,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -102,21 +117,45 @@ func main() {
 		}
 		defer sub.Close()
 		rendered := 0
+		baseIdx := -1      // last frame held, the next delta base
+		var baseEnc []byte // its wire encoding
 		for frames := range sub.Updates {
 			if frames == 0 {
 				continue
 			}
 			idx := frames - 1 // latest
-			fb, wire, took, err := cli.Render(remote.RenderParams{
-				Frame: idx, Width: *size, Height: *size, ViewDir: dir,
-			})
-			if err != nil {
-				log.Printf("frame %d: %v", idx, err)
-				continue
+			var fb *render.Framebuffer
+			var wire int64
+			var took time.Duration
+			if *delta {
+				// Delta mode: pull the frame (as a residual once a base
+				// is held) and render locally.
+				rep, enc, w, d, err := cli.FetchFrameDelta(idx, baseIdx, baseEnc)
+				if err != nil {
+					log.Printf("frame %d: %v", idx, err)
+					continue
+				}
+				baseIdx, baseEnc = idx, enc
+				tf, err := core.DefaultTF(rep)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if fb, _, _, err = core.RenderFrame(rep, tf, *size, *size, dir); err != nil {
+					log.Fatal(err)
+				}
+				wire, took = w, d
+			} else {
+				var err error
+				if fb, wire, took, err = cli.Render(remote.RenderParams{
+					Frame: idx, Width: *size, Height: *size, ViewDir: dir, Quality: tier,
+				}); err != nil {
+					log.Printf("frame %d: %v", idx, err)
+					continue
+				}
 			}
 			dst := strings.TrimSuffix(*out, ".png") + fmt.Sprintf("_%04d.png", idx)
 			writePNG(fb.WritePNG, dst)
-			fmt.Printf("frame %d: %.3f MB image in %v -> %s\n", idx, float64(wire)/1e6, took, dst)
+			fmt.Printf("frame %d: %.3f MB on the wire in %v -> %s\n", idx, float64(wire)/1e6, took, dst)
 			rendered++
 		}
 		fmt.Printf("feed closed after %d frames\n", rendered)
@@ -131,6 +170,16 @@ func writePNG(write func(string) error, path string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+}
+
+func parseQuality(s string) (remote.RenderQuality, error) {
+	switch s {
+	case "lossless":
+		return remote.QualityLossless, nil
+	case "preview":
+		return remote.QualityPreview, nil
+	}
+	return 0, fmt.Errorf("quality %q must be lossless or preview", s)
 }
 
 func parseVec(s string) (vec.V3, error) {

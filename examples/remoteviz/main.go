@@ -11,6 +11,13 @@
 // RLE-compressed framebuffer rendered server-side, bit-identical to
 // the local render at a fraction of the bytes).
 //
+// The thin-client mode runs at both protocol v3 quality tiers side by
+// side: the lossless default, and a preview-tier subscriber — the
+// "scrubbing" client that trades bit-exactness for a quantized 8-bit
+// image several times smaller again. Both renders come out of the
+// server's encode-once render cache, so the second subscriber's tier
+// is the only extra work the server does for it.
+//
 //	go run ./examples/remoteviz
 package main
 
@@ -68,6 +75,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sub.Close()
+
+	// A second, preview-tier subscriber on its own connection — the
+	// low-bandwidth seat riding the same encode-once caches.
+	preview, err := remote.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer preview.Close()
+	preview.SetBandwidth(linkBps)
 
 	// Surface a mid-run pipeline failure instead of blocking on a feed
 	// that will never deliver the final frame.
@@ -134,6 +150,21 @@ func main() {
 			log.Fatal(err)
 		}
 
+		// Mode 3: the preview-tier subscriber asks for the same view at
+		// the quantized tier — the cheapest seat in the house.
+		pfb, pwire, ptook, err := preview.Render(remote.RenderParams{
+			Frame: i, Width: 256, Height: 256, ViewDir: viewDir,
+			Quality: remote.QualityPreview,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("frame %d: preview-tier    %.3f MB image in %8v (%.1fx smaller than lossless)\n",
+			i, float64(pwire)/1e6, ptook.Round(1000), float64(wire)/float64(pwire))
+		if err := pfb.WritePNG(fmt.Sprintf("remoteviz_preview%d.png", i)); err != nil {
+			log.Fatal(err)
+		}
+
 		seen++
 	}
 	if streamErr != nil {
@@ -141,5 +172,5 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\nconsumed %d live frames; wrote remoteviz_local*.png and remoteviz_remote*.png\n", seen)
+	fmt.Printf("\nconsumed %d live frames; wrote remoteviz_{local,remote,preview}*.png\n", seen)
 }

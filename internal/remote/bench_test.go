@@ -2,6 +2,8 @@ package remote
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/hybrid"
@@ -113,4 +115,159 @@ func BenchmarkDistributedExtract(b *testing.B) {
 	// Fast enough to keep the bench smoke quick, slow enough that the
 	// modeled link dominates: ~5ms per reply at this frame size.
 	run("throttled", repBytes*200)
+}
+
+// rawLiveStore is a live store with no encoding of its own (unlike
+// LiveRing, which encodes at publish), so every broadcast must go
+// through the service's encode-once frame cache — that is the work
+// BenchmarkFanOut meters. Published frames cycle a fixed rep set under
+// a monotonically growing index, matching the append-only contract.
+type rawLiveStore struct {
+	mu       sync.Mutex
+	reps     []*hybrid.Representation
+	frames   int
+	watchers map[int]func(int)
+	nextW    int
+}
+
+func newRawLiveStore(reps []*hybrid.Representation) *rawLiveStore {
+	return &rawLiveStore{reps: reps, watchers: make(map[int]func(int))}
+}
+
+func (s *rawLiveStore) NumFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frames
+}
+
+func (s *rawLiveStore) Frame(i int) (*hybrid.Representation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= s.frames {
+		return nil, fmt.Errorf("remote: frame %d out of range", i)
+	}
+	return s.reps[i%len(s.reps)], nil
+}
+
+func (s *rawLiveStore) Watch(fn func(frames int)) (cancel func()) {
+	s.mu.Lock()
+	id := s.nextW
+	s.nextW++
+	s.watchers[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.watchers, id)
+		s.mu.Unlock()
+	}
+}
+
+func (s *rawLiveStore) publish() {
+	s.mu.Lock()
+	s.frames++
+	frames := s.frames
+	fns := make([]func(int), 0, len(s.watchers))
+	for _, fn := range s.watchers {
+		fns = append(fns, fn)
+	}
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(frames)
+	}
+}
+
+// BenchmarkFanOut is the tentpole measurement: one publish broadcast
+// to N inline subscribers, gated (every subscriber acknowledges each
+// frame before the next publish), over a local socket and a modeled
+// WAN link. The encodes/frame metric is the encode-once contract —
+// it stays ≈1 as subscribers grow from 1 to 64, because all N
+// notifies share one cached wire encoding. The deltastep sub-bench
+// records the other half of the economics: stepping a correlated
+// beam-halo series frame-to-frame by XOR-delta ships a fraction of
+// the full-frame bytes (reported as fullframe-B for comparison).
+func BenchmarkFanOut(b *testing.B) {
+	reps := correlatedReps(b, 4)
+	enc, err := encodeRep(reps[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := int64(len(enc))
+	// ~5ms per frame at this size, as in BenchmarkRemoteFetch.
+	throttle := full * 200
+
+	for _, n := range []int{1, 8, 64} {
+		for _, link := range []struct {
+			name string
+			bps  int64
+		}{{"local", 0}, {"throttled", throttle}} {
+			b.Run(fmt.Sprintf("subs=%d/%s", n, link.name), func(b *testing.B) {
+				store := newRawLiveStore(reps)
+				srv, err := NewService("127.0.0.1:0", store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+
+				acks := make(chan int, n)
+				for i := 0; i < n; i++ {
+					cli := dial(b, srv.Addr())
+					cli.SetBandwidth(link.bps)
+					sub, err := cli.SubscribeWith(SubscribeOptions{InlineFrames: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					<-sub.Updates // initial count
+					go func() {
+						for u := range sub.Frames {
+							acks <- u.Frames
+						}
+					}()
+				}
+
+				start := srv.Stats()
+				b.SetBytes(full)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					store.publish()
+					for k := 0; k < n; k++ {
+						if got := <-acks; got != i+1 {
+							b.Fatalf("ack %d at frame %d (gated publish should never skip)", got, i+1)
+						}
+					}
+				}
+				b.StopTimer()
+				st := srv.Stats()
+				b.ReportMetric(float64(st.FrameEncodes-start.FrameEncodes)/float64(b.N), "encodes/frame")
+			})
+		}
+	}
+
+	for _, link := range []struct {
+		name string
+		bps  int64
+	}{{"local", 0}, {"throttled", throttle}} {
+		b.Run("deltastep/"+link.name, func(b *testing.B) {
+			srv, _ := serveMem(b, reps)
+			cli := dial(b, srv.Addr())
+			cli.SetBandwidth(link.bps)
+			baseEnc, err := cli.fetchEncoded(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur := 0
+			var wire int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next := (cur + 1) % len(reps)
+				_, enc, w, _, err := cli.FetchFrameDelta(next, cur, baseEnc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wire = w
+				cur, baseEnc = next, enc
+			}
+			b.SetBytes(wire)
+			b.ReportMetric(float64(full), "fullframe-B")
+		})
+	}
 }

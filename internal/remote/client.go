@@ -91,6 +91,25 @@ func (c *Client) readLoop() {
 			}
 			continue
 		}
+		if msg.op == opNotifyFrame {
+			if len(msg.payload) < notifyFrameHeader {
+				continue
+			}
+			frames := int(binary.LittleEndian.Uint64(msg.payload))
+			index := int(binary.LittleEndian.Uint32(msg.payload[8:]))
+			c.mu.Lock()
+			sub := c.subs[msg.reqID]
+			c.mu.Unlock()
+			if sub != nil {
+				sub.deliverFrame(FrameUpdate{
+					Frames:  frames,
+					Index:   index,
+					Payload: msg.payload[notifyFrameHeader:],
+				})
+				sub.deliver(frames)
+			}
+			continue
+		}
 		c.mu.Lock()
 		ch := c.pending[msg.reqID]
 		delete(c.pending, msg.reqID)
@@ -207,6 +226,78 @@ func (c *Client) FetchFrame(i int) (*hybrid.Representation, int64, time.Duration
 	return rep, int64(len(msg.payload)), time.Since(start), nil
 }
 
+// fetchEncoded downloads frame i's raw wire encoding without decoding
+// it — the full-frame leg of the delta protocol.
+func (c *Client) fetchEncoded(i int) ([]byte, error) {
+	payload := make([]byte, 4)
+	binary.LittleEndian.PutUint32(payload, uint32(i))
+	msg, err := c.roundTrip(opGet, payload)
+	if err != nil {
+		return nil, err
+	}
+	if msg.op != opGetOK {
+		return nil, fmt.Errorf("remote: unexpected get response %#02x", msg.op)
+	}
+	return msg.payload, nil
+}
+
+// FetchFrameDelta downloads frame i as an XOR-residual against frame
+// base, whose full wire encoding baseEnc the caller holds from an
+// earlier fetch. On a correlated time series the residual compresses
+// to a fraction of the full frame. It returns the decoded
+// representation, the reconstructed full encoding of frame i (the
+// natural baseEnc for the next fetch), the bytes actually
+// transferred, and the (throttled) elapsed time. If the server cannot
+// serve the delta (base evicted from a live ring) or the
+// reconstruction fails against the caller's base, the client falls
+// back to a full fetch transparently — the transfer size then
+// reflects the full frame.
+func (c *Client) FetchFrameDelta(i, base int, baseEnc []byte) (*hybrid.Representation, []byte, int64, time.Duration, error) {
+	start := time.Now()
+	if base < 0 || len(baseEnc) == 0 {
+		// No base held yet — a plain full fetch seeds the chain.
+		enc, err := c.fetchEncoded(i)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		rep, err := hybrid.DecodeBinary(enc)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		return rep, enc, int64(len(enc)), time.Since(start), nil
+	}
+	enc, wire, err := func() ([]byte, int64, error) {
+		msg, err := c.roundTrip(opGetDelta, encodeGetDelta(i, base))
+		if err != nil {
+			return nil, 0, err
+		}
+		if msg.op != opGetDeltaOK {
+			return nil, 0, fmt.Errorf("remote: unexpected get-delta response %#02x", msg.op)
+		}
+		n := int64(len(msg.payload))
+		cur, err := render.DecompressDelta(msg.payload, baseEnc)
+		msg.recycle() // DecompressDelta builds a fresh buffer
+		return cur, n, err
+	}()
+	if err != nil {
+		c.mu.Lock()
+		dead := c.readErr != nil
+		c.mu.Unlock()
+		if dead {
+			return nil, nil, 0, 0, err
+		}
+		if enc, err = c.fetchEncoded(i); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		wire = int64(len(enc))
+	}
+	rep, err := hybrid.DecodeBinary(enc)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return rep, enc, wire, time.Since(start), nil
+}
+
 // FrameLoader adapts the client to the viewer's Loader signature. The
 // connection multiplexes requests, so the viewer's prefetcher issues
 // overlapping fetches on this one session.
@@ -218,10 +309,12 @@ func (c *Client) FrameLoader() func(i int) (*hybrid.Representation, error) {
 }
 
 // Render asks the server to render frame p.Frame with the given camera
-// and transfer-function parameters — the thin-client mode. It returns
-// the decoded framebuffer (bit-identical to rendering the fetched
-// frame locally), the compressed wire size, and the (throttled)
-// elapsed time.
+// and transfer-function parameters — the thin-client mode. At the
+// default QualityLossless tier the framebuffer is bit-identical to
+// rendering the fetched frame locally; QualityPreview trades that for
+// a quantized 8-bit encoding several times smaller on the wire. It
+// returns the decoded framebuffer, the compressed wire size, and the
+// (throttled) elapsed time.
 func (c *Client) Render(p RenderParams) (*render.Framebuffer, int64, time.Duration, error) {
 	start := time.Now()
 	msg, err := c.roundTrip(opRender, encodeRenderParams(p))
@@ -231,7 +324,7 @@ func (c *Client) Render(p RenderParams) (*render.Framebuffer, int64, time.Durati
 	if msg.op != opRenderOK {
 		return nil, 0, 0, fmt.Errorf("remote: unexpected render response %#02x", msg.op)
 	}
-	fb, err := render.DecompressFramebuffer(msg.payload)
+	fb, err := render.DecodeFramebuffer(msg.payload)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -300,17 +393,56 @@ type Subscription struct {
 	// It closes when the subscription or connection ends.
 	Updates <-chan int
 
-	ch     chan int
-	done   chan struct{} // closed by Close; ends the connection watchdog
-	cancel func()
-	mu     sync.Mutex
-	last   int // highest count delivered; duplicates and regressions drop
-	closed bool
+	// Frames carries inline frame pushes when the subscription was
+	// opened with SubscribeOptions.InlineFrames; nil otherwise. Like
+	// Updates it is latest-wins, and the first frame arrives only on
+	// the first publish after subscribing (the backlog comes via
+	// FetchFrame). A push the server had to degrade to a count-only
+	// notify (frame already evicted) appears on Updates alone.
+	Frames <-chan FrameUpdate
+
+	ch        chan int
+	fch       chan FrameUpdate
+	done      chan struct{} // closed by Close; ends the connection watchdog
+	cancel    func()
+	mu        sync.Mutex
+	last      int // highest count delivered; duplicates and regressions drop
+	lastFrame int // highest count delivered on Frames
+	closed    bool
+}
+
+// SubscribeOptions selects protocol v3 subscription extensions.
+type SubscribeOptions struct {
+	// InlineFrames asks the server to ship each new frame's wire
+	// encoding inside the notify itself — the encode-once broadcast
+	// path: the server encodes the frame once and writes that same
+	// buffer to every inline subscriber, so the client skips the
+	// notify→FetchFrame round trip.
+	InlineFrames bool
+}
+
+// FrameUpdate is one inline-subscription push: the server's frame
+// count, the index of the newest frame, and that frame's full wire
+// encoding (a valid FetchFrameDelta base for later fetches).
+type FrameUpdate struct {
+	Frames  int
+	Index   int
+	Payload []byte
+}
+
+// Decode unpacks the pushed frame.
+func (u FrameUpdate) Decode() (*hybrid.Representation, error) {
+	return hybrid.DecodeBinary(u.Payload)
 }
 
 // Subscribe registers for live-frame notifications. On a static store
 // the channel sees one update (the current count) and nothing more.
 func (c *Client) Subscribe() (*Subscription, error) {
+	return c.SubscribeWith(SubscribeOptions{})
+}
+
+// SubscribeWith is Subscribe with protocol v3 options.
+func (c *Client) SubscribeWith(opts SubscribeOptions) (*Subscription, error) {
 	c.mu.Lock()
 	if c.readErr != nil {
 		err := c.readErr
@@ -323,6 +455,10 @@ func (c *Client) Subscribe() (*Subscription, error) {
 	c.pending[id] = ch
 	sub := &Subscription{ch: make(chan int, 1), done: make(chan struct{}), last: -1}
 	sub.Updates = sub.ch
+	if opts.InlineFrames {
+		sub.fch = make(chan FrameUpdate, 1)
+		sub.Frames = sub.fch
+	}
 	sub.cancel = func() {
 		c.mu.Lock()
 		if c.subs[id] == sub {
@@ -343,8 +479,12 @@ func (c *Client) Subscribe() (*Subscription, error) {
 		}
 	}()
 
+	var payload []byte // empty = legacy count-only subscribe
+	if opts.InlineFrames {
+		payload = []byte{subFlagInline}
+	}
 	c.wmu.Lock()
-	err := writeMessage(c.bw, id, opSubscribe, nil)
+	err := writeMessage(c.bw, id, opSubscribe, payload)
 	c.wmu.Unlock()
 	if err != nil {
 		sub.Close()
@@ -408,7 +548,29 @@ func (s *Subscription) deliver(frames int) {
 	}
 }
 
-// Close unregisters the subscription and closes Updates.
+// deliverFrame pushes an inline frame latest-wins onto Frames, with
+// the same monotonic guard as deliver.
+func (s *Subscription) deliverFrame(u FrameUpdate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.fch == nil || u.Frames <= s.lastFrame {
+		return
+	}
+	s.lastFrame = u.Frames
+	for {
+		select {
+		case s.fch <- u:
+			return
+		default:
+			select {
+			case <-s.fch:
+			default:
+			}
+		}
+	}
+}
+
+// Close unregisters the subscription and closes Updates (and Frames).
 func (s *Subscription) Close() {
 	s.cancel()
 	s.mu.Lock()
@@ -416,6 +578,9 @@ func (s *Subscription) Close() {
 	if !s.closed {
 		s.closed = true
 		close(s.ch)
+		if s.fch != nil {
+			close(s.fch)
+		}
 		close(s.done)
 	}
 }

@@ -1,0 +1,564 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hybrid"
+	"repro/internal/vec"
+)
+
+// rawStore strips a MemStore down to the bare FrameStore interface —
+// no EncodedFrame — so every Get must run the service-side encode
+// path. It is how the tests (and BenchmarkFanOut) make the service's
+// own encode-once cache observable instead of the store's.
+type rawStore struct {
+	reps []*hybrid.Representation
+}
+
+func (s *rawStore) NumFrames() int { return len(s.reps) }
+func (s *rawStore) Frame(i int) (*hybrid.Representation, error) {
+	if i < 0 || i >= len(s.reps) {
+		return nil, fmt.Errorf("remote: frame %d out of range", i)
+	}
+	return s.reps[i], nil
+}
+
+// correlatedReps builds a beam-halo-style time series: one extracted
+// frame, then per-frame clones with a slowly drifting density volume
+// and a handful of moved halo points. Successive wire encodings are
+// mostly identical, which is the regime the XOR-delta path is built
+// for (a simulation's frame-to-frame change is a small fraction of the
+// frame).
+func correlatedReps(t testing.TB, n int) []*hybrid.Representation {
+	t.Helper()
+	base := testReps(t, 1)[0]
+	reps := make([]*hybrid.Representation, n)
+	reps[0] = base
+	for f := 1; f < n; f++ {
+		prev := reps[f-1]
+		g := &hybrid.Grid{
+			Nx: prev.Volume.Nx, Ny: prev.Volume.Ny, Nz: prev.Volume.Nz,
+			Bounds: prev.Volume.Bounds,
+			Data:   append([]float32(nil), prev.Volume.Data...),
+		}
+		// A few cells of volume churn per step.
+		for k := 0; k < 8; k++ {
+			i := (f*37 + k*101) % len(g.Data)
+			g.Data[i] += 0.01
+		}
+		rep := &hybrid.Representation{
+			Bounds:       prev.Bounds,
+			Threshold:    prev.Threshold,
+			MaxLeafD:     prev.MaxLeafD,
+			Volume:       g,
+			Points:       append([]vec.V3(nil), prev.Points...),
+			PointDensity: append([]float32(nil), prev.PointDensity...),
+			OrigIndex:    append([]int64(nil), prev.OrigIndex...),
+		}
+		// ...and a handful of halo points drifting.
+		for k := 0; k < 4 && k < len(rep.Points); k++ {
+			i := (f*13 + k*29) % len(rep.Points)
+			p := rep.Points[i]
+			rep.Points[i] = vec.New(p.X+0.001, p.Y, p.Z)
+		}
+		reps[f] = rep
+	}
+	return reps
+}
+
+// TestFetchFrameDelta pins the GetDelta contract: the reconstructed
+// frame is bit-identical to a full Get, deltas chain (each
+// reconstruction is the next base), and on a correlated series the
+// wire cost is a fraction of the full frame.
+func TestFetchFrameDelta(t *testing.T) {
+	reps := correlatedReps(t, 4)
+	srv, store := serveMem(t, reps)
+	cli := dial(t, srv.Addr())
+
+	baseEnc, err := cli.fetchEncoded(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := store.FrameBytes(1)
+	for i := 1; i < 4; i++ {
+		rep, enc, wire, _, err := cli.FetchFrameDelta(i, i-1, baseEnc)
+		if err != nil {
+			t.Fatalf("FetchFrameDelta(%d): %v", i, err)
+		}
+		want, _ := store.EncodedFrame(i)
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("frame %d reconstruction not bit-identical to the full fetch", i)
+		}
+		if rep.NumPoints() != reps[i].NumPoints() {
+			t.Errorf("frame %d: %d points, want %d", i, rep.NumPoints(), reps[i].NumPoints())
+		}
+		if wire*4 >= full {
+			t.Errorf("frame %d delta shipped %d bytes vs %d full; want at least 4x smaller on a correlated series", i, wire, full)
+		}
+		baseEnc = enc
+	}
+}
+
+// TestFetchFrameDeltaFallback: when the server cannot serve the delta
+// (base evicted from the live ring) or the client's base bytes are
+// stale (CRC mismatch on reconstruction), FetchFrameDelta degrades to
+// a full fetch and still returns the exact frame.
+func TestFetchFrameDeltaFallback(t *testing.T) {
+	reps := correlatedReps(t, 4)
+	ring, err := NewLiveRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if err := ring.Publish(i, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewService("127.0.0.1:0", ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := dial(t, srv.Addr())
+
+	want, _ := ring.EncodedFrame(3)
+
+	// Base 0 is evicted (ring keeps 2 of 4): the server answers with an
+	// error and the client refetches in full.
+	_, enc, wire, _, err := cli.FetchFrameDelta(3, 0, []byte("stale"))
+	if err != nil {
+		t.Fatalf("delta with evicted base: %v", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Error("fallback fetch not bit-identical")
+	}
+	if wire != int64(len(want)) {
+		t.Errorf("fallback wire size %d, want full frame %d", wire, len(want))
+	}
+
+	// Both frames live, but the caller's base bytes are wrong: the
+	// delta applies to garbage, the CRC catches it, and the client
+	// falls back rather than returning a corrupt frame.
+	wrongBase := append([]byte(nil), want...)
+	wrongBase[len(wrongBase)/2] ^= 0xff
+	if _, enc, _, _, err = cli.FetchFrameDelta(3, 2, wrongBase); err != nil {
+		t.Fatalf("delta with corrupt base: %v", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Error("corrupt-base fallback not bit-identical")
+	}
+
+	// Missing target frame fails outright — nothing to fall back to.
+	if _, _, _, _, err := cli.FetchFrameDelta(99, 3, want); err == nil {
+		t.Error("delta for missing frame succeeded")
+	}
+	// And the connection survives all of the above.
+	if _, _, _, err := cli.FetchFrame(3); err != nil {
+		t.Errorf("fetch after delta errors: %v", err)
+	}
+}
+
+// TestRenderQualityTiers: the preview tier is an explicit opt-in that
+// ships a visibly cheaper image; the default stays lossless.
+func TestRenderQualityTiers(t *testing.T) {
+	reps := testReps(t, 1)
+	srv, _ := serveMem(t, reps)
+	cli := dial(t, srv.Addr())
+	base := RenderParams{Frame: 0, Width: 96, Height: 96, ViewDir: vec.New(0.4, 0.3, 1)}
+
+	lossless, wireL, _, err := cli.Render(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preview := base
+	preview.Quality = QualityPreview
+	fbP, wireP, _, err := cli.Render(preview)
+	if err != nil {
+		t.Fatalf("preview render: %v", err)
+	}
+	if wireP*2 >= wireL {
+		t.Errorf("preview shipped %d bytes vs lossless %d; want at least 2x smaller", wireP, wireL)
+	}
+	// The preview image approximates the lossless one within the
+	// quantization step — same render, cheaper codec.
+	for i := range lossless.Color {
+		want := lossless.Color[i]
+		if want < 0 {
+			want = 0
+		}
+		if want > 1 {
+			want = 1
+		}
+		if d := fbP.Color[i] - want; d > 1.0/255 || d < -1.0/255 {
+			t.Fatalf("preview color word %d off by %g", i, d)
+		}
+	}
+	// The zero value of RenderParams selects the lossless tier: a
+	// client that never heard of quality tiers keeps the bit-exact
+	// contract.
+	if QualityLossless != 0 {
+		t.Fatal("QualityLossless must be the zero value")
+	}
+}
+
+// TestEncodeOnceFrameCache: on a store with no encoding of its own, N
+// concurrent Gets of one frame run exactly one encode — the
+// single-flight contract the fan-out path rests on.
+func TestEncodeOnceFrameCache(t *testing.T) {
+	reps := testReps(t, 2)
+	srv, err := NewService("127.0.0.1:0", &rawStore{reps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			rep, _, _, err := cli.FetchFrame(0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rep.NumPoints() != reps[0].NumPoints() {
+				errs <- fmt.Errorf("fetched frame mangled")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.FrameEncodes != 1 {
+		t.Errorf("%d clients cost %d frame encodes, want 1", clients, st.FrameEncodes)
+	}
+	if st.FrameEncodes+st.FrameHits != clients {
+		t.Errorf("encodes %d + hits %d != %d requests", st.FrameEncodes, st.FrameHits, clients)
+	}
+
+	// Same single-flight contract on the render cache.
+	params := RenderParams{Frame: 1, Width: 48, Height: 48, ViewDir: vec.New(0.4, 0.3, 1)}
+	cli := dial(t, srv.Addr())
+	var inner sync.WaitGroup
+	rerrs := make(chan error, clients)
+	for k := 0; k < clients; k++ {
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			if _, _, _, err := cli.Render(params); err != nil {
+				rerrs <- err
+			}
+		}()
+	}
+	inner.Wait()
+	close(rerrs)
+	for err := range rerrs {
+		t.Fatal(err)
+	}
+	st = srv.Stats()
+	if st.Renders != 1 {
+		t.Errorf("%d identical renders cost %d raster passes, want 1", clients, st.Renders)
+	}
+	// A different quality tier is a different cache key: it must not
+	// serve the lossless blob.
+	p2 := params
+	p2.Quality = QualityPreview
+	if _, _, _, err := cli.Render(p2); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Renders != 2 {
+		t.Errorf("preview render reused the lossless cache entry (renders = %d)", st.Renders)
+	}
+}
+
+// racingLiveStore reproduces the subscribe-vs-publish race window
+// deterministically: Watch fires its callback synchronously at
+// registration — a publish landing exactly between the service's
+// watcher registration and its NumFrames() read — while NumFrames
+// still reports the stale pre-publish count.
+type racingLiveStore struct {
+	rep *hybrid.Representation
+}
+
+func (s *racingLiveStore) NumFrames() int { return 0 } // stale: the publish already landed
+func (s *racingLiveStore) Frame(i int) (*hybrid.Representation, error) {
+	if i != 0 {
+		return nil, fmt.Errorf("remote: no such frame %d", i)
+	}
+	return s.rep, nil
+}
+func (s *racingLiveStore) Watch(fn func(frames int)) (cancel func()) {
+	fn(1)
+	return func() {}
+}
+
+// TestSubscribeSeesRaceWindowPublish pins the ordering contract in the
+// subscribe handler (register the watcher before reading the count):
+// a publish landing inside that window must reach the subscriber. The
+// notify can overtake the SubscribeOK on the wire, so the client's
+// monotonic guard is exercised too — the feed converges on 1 and
+// never regresses to the stale 0.
+func TestSubscribeSeesRaceWindowPublish(t *testing.T) {
+	srv, err := NewService("127.0.0.1:0", &racingLiveStore{rep: testReps(t, 1)[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := dial(t, srv.Addr())
+	sub, err := cli.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case n := <-sub.Updates:
+			switch n {
+			case 1:
+				return // the in-window publish was observed
+			case 0:
+				// The stale subscribe-time count arrived first; the
+				// pushed update must still follow.
+			default:
+				t.Fatalf("update %d, want 0 then 1", n)
+			}
+		case <-deadline:
+			t.Fatal("publish inside the subscribe window was lost")
+		}
+	}
+}
+
+// TestInlineSubscribe: the v3 encode-once broadcast. Every inline
+// subscriber receives the published frame's exact wire encoding in
+// the notify itself (bit-identical to a Get), while a legacy
+// subscriber on the same service still gets count-only notifies.
+func TestInlineSubscribe(t *testing.T) {
+	reps := correlatedReps(t, 3)
+	ring, err := NewLiveRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewService("127.0.0.1:0", ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const subscribers = 4
+	subs := make([]*Subscription, subscribers)
+	for i := range subs {
+		cli := dial(t, srv.Addr())
+		if subs[i], err = cli.SubscribeWith(SubscribeOptions{InlineFrames: true}); err != nil {
+			t.Fatal(err)
+		}
+		if n := <-subs[i].Updates; n != 0 {
+			t.Fatalf("initial update %d, want 0", n)
+		}
+	}
+	legacy, err := dial(t, srv.Addr()).Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Frames != nil {
+		t.Fatal("legacy subscription has a Frames channel")
+	}
+	<-legacy.Updates
+
+	if err := ring.Publish(0, reps[0]); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ring.EncodedFrame(0)
+	for i, sub := range subs {
+		select {
+		case u := <-sub.Frames:
+			if u.Frames != 1 || u.Index != 0 {
+				t.Fatalf("subscriber %d: update (%d, %d), want (1, 0)", i, u.Frames, u.Index)
+			}
+			if !bytes.Equal(u.Payload, want) {
+				t.Fatalf("subscriber %d: inline payload not bit-identical to Get", i)
+			}
+			rep, err := u.Decode()
+			if err != nil {
+				t.Fatalf("subscriber %d: decode: %v", i, err)
+			}
+			if rep.NumPoints() != reps[0].NumPoints() {
+				t.Fatalf("subscriber %d: decoded frame mangled", i)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("subscriber %d never received the inline frame", i)
+		}
+		// The count channel runs alongside the frame channel.
+		select {
+		case n := <-sub.Updates:
+			if n != 1 {
+				t.Fatalf("subscriber %d: count %d, want 1", i, n)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("subscriber %d never received the count update", i)
+		}
+	}
+	select {
+	case n := <-legacy.Updates:
+		if n != 1 {
+			t.Fatalf("legacy count %d, want 1", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("legacy subscriber never notified")
+	}
+	if st := srv.Stats(); st.NotifyFrames == 0 {
+		t.Error("no inline frame notifies recorded")
+	}
+}
+
+// TestFanOutStress is the multi-subscriber fan-out stress for the race
+// detector: a publisher streams frames into a live ring while many
+// inline subscribers decode every push they see and other clients pull
+// deltas and renders through the shared caches. Latest-wins delivery
+// means a subscriber may skip frames, but everything it does see must
+// be bit-identical to the store.
+func TestFanOutStress(t *testing.T) {
+	reps := correlatedReps(t, 8)
+	ring, err := NewLiveRing(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewService("127.0.0.1:0", ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const subscribers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, subscribers*2+1)
+	stop := make(chan struct{})
+
+	for c := 0; c < subscribers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			sub, err := cli.SubscribeWith(SubscribeOptions{InlineFrames: true})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sub.Close()
+			seen := 0
+			for {
+				select {
+				case u, ok := <-sub.Frames:
+					if !ok {
+						return
+					}
+					want, err := ring.EncodedFrame(u.Index)
+					if err != nil {
+						continue // already evicted past us; latest-wins
+					}
+					if !bytes.Equal(u.Payload, want) {
+						errs <- fmt.Errorf("subscriber %d: frame %d payload corrupt", c, u.Index)
+						return
+					}
+					if _, err := u.Decode(); err != nil {
+						errs <- fmt.Errorf("subscriber %d: frame %d decode: %w", c, u.Index, err)
+						return
+					}
+					seen++
+					if u.Frames == len(reps) {
+						return
+					}
+				case <-stop:
+					_ = seen // a late subscriber may legitimately see none
+					return
+				}
+			}
+		}(c)
+	}
+	// Delta-stepping pullers riding the shared caches concurrently.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			var baseEnc []byte
+			base := -1
+			for i := 0; i < len(reps); i++ {
+				for ring.NumFrames() <= i {
+					select {
+					case <-stop:
+						return
+					case <-time.After(time.Millisecond):
+					}
+				}
+				var enc []byte
+				var err error
+				if base < 0 {
+					enc, err = cli.fetchEncoded(i)
+				} else {
+					_, enc, _, _, err = cli.FetchFrameDelta(i, base, baseEnc)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("delta step %d: %w", i, err)
+					return
+				}
+				if want, werr := ring.EncodedFrame(i); werr == nil && !bytes.Equal(enc, want) {
+					errs <- fmt.Errorf("delta step %d not bit-identical", i)
+					return
+				}
+				base, baseEnc = i, enc
+			}
+		}()
+	}
+
+	for i, rep := range reps {
+		if err := ring.Publish(i, rep); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // let notifies interleave with pulls
+	}
+	// Grace for in-flight notifies, then release anyone still waiting
+	// (a subscriber whose latest-wins feed skipped the final frame
+	// gets no further push to exit on).
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fan-out stress timed out")
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"repro/internal/vec"
 )
 
-// Wire protocol v2. Every connection starts with a handshake:
+// Wire protocol v3. Every connection starts with a handshake:
 //
 //	client → server: magic "ACVP" | u32 version
 //	server → client: magic "ACVP" | u32 version | u32 flags
@@ -37,11 +37,28 @@ import (
 // error code before the message text (WireError), so a client can
 // distinguish "this server does not speak that verb" from an
 // application failure without string matching.
+//
+// v3 over v2 is the fan-out revision — per-frame server work
+// independent of subscriber count, per-frame bytes proportional to
+// what changed:
+//
+//   - GetDelta: the client names a frame it already holds and the
+//     server ships frame i as an RLE-compressed XOR residual against
+//     it (render.CompressDelta), losslessly reconstructed client-side.
+//   - Render requests carry a quality tier: lossless RLE (the default,
+//     bit-identical to a local render) or a quantized 8-bit preview
+//     (~4-5x smaller, documented lossy, never selected by default).
+//     v2's 52-byte render payload still decodes (as lossless).
+//   - Subscribe requests may carry a flags byte asking for inline
+//     frame payloads: the server encodes each new frame once and
+//     writes the same buffer to every subscriber (opNotifyFrame)
+//     instead of pushing a count that every client answers with a
+//     full Get.
 
 var protoMagic = [4]byte{'A', 'C', 'V', 'P'}
 
 const (
-	protoVersion = 2
+	protoVersion = 3
 
 	// maxBody bounds a message body so a corrupt or hostile length
 	// prefix cannot cause an arbitrary allocation.
@@ -59,16 +76,28 @@ const (
 	opSubscribe byte = 0x03
 	opRender    byte = 0x04
 	opCompute   byte = 0x05
+	opGetDelta  byte = 0x06
 
 	opListOK      byte = 0x81
 	opGetOK       byte = 0x82
 	opSubscribeOK byte = 0x83
 	opRenderOK    byte = 0x84
 	opComputeOK   byte = 0x85
+	opGetDeltaOK  byte = 0x86
 
-	opNotify byte = 0x90
-	opError  byte = 0xFF
+	opNotify      byte = 0x90
+	opNotifyFrame byte = 0x91
+	opError       byte = 0xFF
 )
+
+// subFlagInline, set in a Subscribe request's flags byte, asks the
+// server to push each new frame's wire encoding inline (opNotifyFrame)
+// instead of a bare count (opNotify).
+const subFlagInline byte = 1 << 0
+
+// notifyFrameHeader is the fixed prefix of an opNotifyFrame payload:
+// u64 frames | u32 index, followed by the frame's wire encoding.
+const notifyFrameHeader = 8 + 4
 
 // ErrorCode classifies an error reply so clients can react to the
 // class without parsing the message text.
@@ -150,22 +179,39 @@ func (m message) recycle() {
 // writeMessage frames and sends one message. The caller serializes
 // concurrent writers.
 func writeMessage(w *bufio.Writer, reqID uint64, op byte, payload []byte) error {
-	if len(payload) > maxBody-msgOverhead {
-		return fmt.Errorf("remote: message payload %d exceeds limit", len(payload))
+	return writeMessageVec(w, reqID, op, payload)
+}
+
+// writeMessageVec is writeMessage over a vectored payload: the
+// segments are framed as one contiguous payload without being joined
+// in memory first. The broadcast path leans on this — a shared frame
+// encoding goes out to every subscriber prefixed by a tiny
+// per-connection header, no per-subscriber copy of the frame.
+func writeMessageVec(w *bufio.Writer, reqID uint64, op byte, segs ...[]byte) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > maxBody-msgOverhead {
+		return fmt.Errorf("remote: message payload %d exceeds limit", total)
 	}
 	le := binary.LittleEndian
 	var head [4 + msgOverhead]byte
-	le.PutUint32(head[0:], uint32(msgOverhead+len(payload)))
+	le.PutUint32(head[0:], uint32(msgOverhead+total))
 	le.PutUint64(head[4:], reqID)
 	head[12] = op
 	crc := crc32.NewIEEE()
 	crc.Write(head[4:])
-	crc.Write(payload)
+	for _, s := range segs {
+		crc.Write(s)
+	}
 	if _, err := w.Write(head[:]); err != nil {
 		return fmt.Errorf("remote: writing message header: %w", err)
 	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("remote: writing message payload: %w", err)
+	for _, s := range segs {
+		if _, err := w.Write(s); err != nil {
+			return fmt.Errorf("remote: writing message payload: %w", err)
+		}
 	}
 	var tail [4]byte
 	le.PutUint32(tail[:], crc.Sum32())
@@ -314,6 +360,24 @@ func decodeListInfo(p []byte) (ListInfo, error) {
 	return li, nil
 }
 
+// RenderQuality selects the wire codec of a server-side render — the
+// client-negotiated quality tier of protocol v3.
+type RenderQuality uint8
+
+const (
+	// QualityLossless ships the full float framebuffer under lossless
+	// word-RLE, bit-identical to a local render. The default: stills
+	// and anything quantitative use it.
+	QualityLossless RenderQuality = 0
+	// QualityPreview ships a quantized 8-bit color image (~4-5x
+	// smaller) with no depth plane — preview-grade interaction only.
+	// LOSSY: bit-identical only to its own decode, never to the
+	// lossless tier, and never selected unless the client asks.
+	QualityPreview RenderQuality = 1
+)
+
+func (q RenderQuality) valid() bool { return q <= QualityPreview }
+
 // RenderParams is the thin-client request: instead of transferring the
 // full hybrid frame, the client ships camera and transfer-function
 // parameters and the server renders on its tile-binned rasterizer,
@@ -329,10 +393,16 @@ type RenderParams struct {
 	VolumeOpacity float64
 	// LogDomainK overrides the log-domain expansion constant when > 0.
 	LogDomainK float64
+	// Quality selects the response codec; the zero value is lossless.
+	Quality RenderQuality
 }
 
+// renderParamsLenV2 is the v2 payload size, still accepted (decoding
+// as QualityLossless); v3 appends one quality byte.
+const renderParamsLenV2 = 12 + 5*8
+
 func encodeRenderParams(p RenderParams) []byte {
-	out := make([]byte, 12+5*8)
+	out := make([]byte, renderParamsLenV2+1)
 	le := binary.LittleEndian
 	le.PutUint32(out[0:], uint32(p.Frame))
 	le.PutUint32(out[4:], uint32(p.Width))
@@ -340,12 +410,21 @@ func encodeRenderParams(p RenderParams) []byte {
 	for i, f := range []float64{p.ViewDir.X, p.ViewDir.Y, p.ViewDir.Z, p.VolumeOpacity, p.LogDomainK} {
 		le.PutUint64(out[12+8*i:], math.Float64bits(f))
 	}
+	out[renderParamsLenV2] = byte(p.Quality)
 	return out
 }
 
 func decodeRenderParams(p []byte) (RenderParams, error) {
-	if len(p) != 12+5*8 {
-		return RenderParams{}, fmt.Errorf("remote: render payload %d bytes, want %d", len(p), 12+5*8)
+	var quality RenderQuality
+	switch len(p) {
+	case renderParamsLenV2: // v2 client: lossless
+	case renderParamsLenV2 + 1:
+		quality = RenderQuality(p[renderParamsLenV2])
+		if !quality.valid() {
+			return RenderParams{}, fmt.Errorf("remote: unknown render quality tier %d", quality)
+		}
+	default:
+		return RenderParams{}, fmt.Errorf("remote: render payload %d bytes, want %d or %d", len(p), renderParamsLenV2, renderParamsLenV2+1)
 	}
 	le := binary.LittleEndian
 	var f [5]float64
@@ -359,6 +438,7 @@ func decodeRenderParams(p []byte) (RenderParams, error) {
 		ViewDir:       vec.New(f[0], f[1], f[2]),
 		VolumeOpacity: f[3],
 		LogDomainK:    f[4],
+		Quality:       quality,
 	}
 	// Bound the framebuffer a request can demand: like maxBody, a
 	// hostile 52-byte message must not force an arbitrary server-side
@@ -368,6 +448,24 @@ func decodeRenderParams(p []byte) (RenderParams, error) {
 		return RenderParams{}, fmt.Errorf("remote: implausible render size %dx%d", rp.Width, rp.Height)
 	}
 	return rp, nil
+}
+
+// encodeGetDelta builds a GetDelta request payload: u32 frame | u32
+// base — "send me frame, I hold base".
+func encodeGetDelta(frame, base int) []byte {
+	out := make([]byte, 8)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], uint32(frame))
+	le.PutUint32(out[4:], uint32(base))
+	return out
+}
+
+func decodeGetDelta(p []byte) (frame, base int, err error) {
+	if len(p) != 8 {
+		return 0, 0, fmt.Errorf("remote: get-delta payload %d bytes, want 8", len(p))
+	}
+	le := binary.LittleEndian
+	return int(int32(le.Uint32(p[0:]))), int(int32(le.Uint32(p[4:]))), nil
 }
 
 // TransferEstimate returns how long a payload of the given size takes

@@ -104,10 +104,58 @@ func FuzzReadMessage(f *testing.F) {
 func FuzzDecodePayloads(f *testing.F) {
 	f.Add(encodeListInfo(ListInfo{Frames: 4, First: 1, Live: true}))
 	f.Add(encodeRenderParams(RenderParams{Frame: 1, Width: 64, Height: 64}))
+	// v3 payloads: quality-tiered render params and GetDelta requests.
+	f.Add(encodeRenderParams(RenderParams{Frame: 1, Width: 64, Height: 64, Quality: QualityPreview}))
+	f.Add(encodeRenderParams(RenderParams{})[:renderParamsLenV2]) // legacy v2 length
+	f.Add(encodeGetDelta(7, 6))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = decodeListInfo(data)
 		_, _ = decodeRenderParams(data)
+		_, _, _ = decodeGetDelta(data)
 	})
+}
+
+// TestRenderParamsQualityRoundTrip pins the v3 params contract: the
+// quality byte survives the round trip, a legacy v2-length payload
+// decodes to the lossless tier, and an out-of-range tier is rejected —
+// preview is only ever an explicit opt-in.
+func TestRenderParamsQualityRoundTrip(t *testing.T) {
+	p := RenderParams{Frame: 3, Width: 32, Height: 16, Quality: QualityPreview}
+	got, err := decodeRenderParams(encodeRenderParams(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quality != QualityPreview {
+		t.Errorf("quality %d after round trip, want preview", got.Quality)
+	}
+	if def, err := decodeRenderParams(encodeRenderParams(RenderParams{Width: 8, Height: 8})); err != nil || def.Quality != QualityLossless {
+		t.Errorf("zero-value params decode to quality %d (err %v), want lossless", def.Quality, err)
+	}
+	legacy := encodeRenderParams(p)[:renderParamsLenV2]
+	if got, err = decodeRenderParams(legacy); err != nil || got.Quality != QualityLossless {
+		t.Errorf("v2-length payload: quality %d, err %v; want lossless, nil", got.Quality, err)
+	}
+	bogus := encodeRenderParams(p)
+	bogus[renderParamsLenV2] = 99
+	if _, err := decodeRenderParams(bogus); err == nil {
+		t.Error("out-of-range quality tier accepted")
+	}
+}
+
+// TestGetDeltaPayloadRoundTrip covers the 8-byte GetDelta request
+// codec and its malformed cases.
+func TestGetDeltaPayloadRoundTrip(t *testing.T) {
+	frame, base, err := decodeGetDelta(encodeGetDelta(9, 8))
+	if err != nil || frame != 9 || base != 8 {
+		t.Errorf("round trip = (%d, %d, %v), want (9, 8, nil)", frame, base, err)
+	}
+	for name, data := range map[string][]byte{
+		"empty": {}, "short": {1, 0, 0}, "long": make([]byte, 12),
+	} {
+		if _, _, err := decodeGetDelta(data); err == nil {
+			t.Errorf("%s payload decoded without error", name)
+		}
+	}
 }
 
 // dialRaw opens a raw TCP connection with a completed handshake, for

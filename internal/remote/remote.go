@@ -16,20 +16,39 @@
 //
 // A Service serves any FrameStore to concurrent clients over a
 // versioned, length-prefixed, CRC-framed, request-ID-multiplexed
-// protocol (protocol.go) with four store verbs:
+// protocol (protocol.go, v3) with five store verbs:
 //
 //   - List: frame range and liveness
 //   - Get: full-frame transfer (fetch-and-render-locally); the
 //     transfer-size economics of the hybrid representation — 100MB
 //     frames at ~10s on the paper's links — measured by FetchFrame
-//   - Subscribe: live-frame push notifications (LiveStore stores)
+//   - GetDelta (v3): the client names a frame it already holds and
+//     receives the requested frame as a word-RLE-compressed XOR
+//     residual against it — on a correlated time series a small
+//     fraction of the full transfer, reconstructed bit-identically
+//     (CRC-verified) by FetchFrameDelta, with transparent full-fetch
+//     fallback when the base is gone or stale
+//   - Subscribe: live-frame push notifications (LiveStore stores).
+//     With the v3 inline flag (SubscribeOptions.InlineFrames) each
+//     notify carries the new frame's wire encoding itself — encoded
+//     once and broadcast to every inline subscriber from the shared
+//     buffer, so per-frame server work is independent of audience size
 //   - Render: thin-client mode — the client ships camera/transfer-
 //     function parameters, the server renders on the tile-binned
 //     rasterizer and returns an RLE-compressed framebuffer,
 //     bit-identical to a local render at ~1-2 orders of magnitude
-//     fewer bytes than the frame itself
+//     fewer bytes than the frame itself. v3 adds a negotiated quality
+//     tier: the default stays lossless; QualityPreview opts into a
+//     quantized 8-bit image several times smaller again (lossy
+//     against the source, stable under its own round trip)
 //
-// The protocol's fifth verb, Compute, belongs to the other service
+// On the server, all of Get, GetDelta and Render run behind
+// encode-once caches (LRU + single-flight): N concurrent requests for
+// the same frame, residual, or view cost one encode/render, which is
+// what makes fan-out to large subscriber counts scale (see
+// BenchmarkFanOut and ServiceStats).
+//
+// The protocol's sixth verb, Compute, belongs to the other service
 // type: a Worker hosts named stage kernels (starting with hybrid
 // extraction: projected point sets in, hybrid representations out,
 // both in pario-idiom CRC-framed encodings), so the pipeline engine

@@ -95,8 +95,15 @@ func newConnWriter(conn net.Conn) *connWriter {
 }
 
 func (w *connWriter) send(reqID uint64, op byte, payload []byte) error {
+	return w.sendVec(reqID, op, payload)
+}
+
+// sendVec frames the segments as one payload without joining them —
+// the broadcast path writes a shared frame encoding to N connections
+// with only a per-connection header built fresh.
+func (w *connWriter) sendVec(reqID uint64, op byte, segs ...[]byte) error {
 	w.mu.Lock()
-	err := writeMessage(w.bw, reqID, op, payload)
+	err := writeMessageVec(w.bw, reqID, op, segs...)
 	w.mu.Unlock()
 	if err != nil {
 		w.conn.Close()

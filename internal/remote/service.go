@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hybrid"
 	"repro/internal/render"
@@ -13,18 +14,78 @@ import (
 )
 
 // Service is the visualization server: it owns a listening socket and
-// serves a FrameStore to any number of concurrent clients over the v2
+// serves a FrameStore to any number of concurrent clients over the v3
 // protocol. Each connection multiplexes requests by ID — List, Get
-// (full-frame transfer), Subscribe (live-frame push when the store is
-// a LiveStore, e.g. a pipeline publishing into a LiveRing), and Render
-// (thin-client mode: the server renders on its tile-binned rasterizer
-// and ships an RLE-compressed framebuffer instead of the frame).
+// (full-frame transfer), GetDelta (XOR-residual transfer against a
+// frame the client holds), Subscribe (live-frame push when the store
+// is a LiveStore, e.g. a pipeline publishing into a LiveRing;
+// optionally with inline frame payloads), and Render (thin-client
+// mode: the server renders on its tile-binned rasterizer and ships a
+// compressed framebuffer — lossless RLE or the quantized preview tier
+// — instead of the frame).
 // Compute requests belong to the Worker service; a Service answers
 // them — like any other verb it does not speak — with a typed
 // ErrCodeUnknownVerb error and keeps the connection open.
 type Service struct {
 	srv   *server
 	store FrameStore
+
+	// Encode-once caches: per-frame server work is independent of how
+	// many clients ask. frames holds wire encodings for stores that
+	// encode on demand; renders holds compressed framebuffers keyed by
+	// the full request (frame, camera, TF, quality); deltas holds
+	// XOR-residual blobs keyed by (frame, base). All are LRU-bounded
+	// and single-flight: N concurrent identical requests run one fill.
+	frames  *blobCache[int]
+	renders *blobCache[RenderParams]
+	deltas  *blobCache[deltaKey]
+
+	stats struct {
+		frameEncodes, frameHits   atomic.Uint64
+		renders, renderHits       atomic.Uint64
+		deltaEncodes, deltaHits   atomic.Uint64
+		notifyFrames, notifyCount atomic.Uint64
+	}
+}
+
+type deltaKey struct{ frame, base int }
+
+// Cache capacities: a handful of recent frames absorbs a subscriber
+// crowd riding the live head; renders get more room because distinct
+// camera params multiply per frame.
+const (
+	frameCacheCap  = 8
+	renderCacheCap = 32
+	deltaCacheCap  = 16
+)
+
+// ServiceStats counts the service's per-frame work and how much of it
+// the encode-once caches absorbed. The fan-out contract is
+// FrameEncodes ≈ frames served, independent of subscriber count —
+// BenchmarkFanOut pins it.
+type ServiceStats struct {
+	FrameEncodes uint64 // frame wire encodings actually computed
+	FrameHits    uint64 // Get/notify requests served from cache or flight
+	Renders      uint64 // server-side renders actually run
+	RenderHits   uint64 // render requests served from cache or flight
+	DeltaEncodes uint64 // delta residuals actually compressed
+	DeltaHits    uint64 // delta requests served from cache or flight
+	NotifyFrames uint64 // inline frame payload notifies written
+	NotifyCounts uint64 // count-only notifies written
+}
+
+// Stats snapshots the service's work counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		FrameEncodes: s.stats.frameEncodes.Load(),
+		FrameHits:    s.stats.frameHits.Load(),
+		Renders:      s.stats.renders.Load(),
+		RenderHits:   s.stats.renderHits.Load(),
+		DeltaEncodes: s.stats.deltaEncodes.Load(),
+		DeltaHits:    s.stats.deltaHits.Load(),
+		NotifyFrames: s.stats.notifyFrames.Load(),
+		NotifyCounts: s.stats.notifyCount.Load(),
+	}
 }
 
 // NewService starts a service for store on addr (use "127.0.0.1:0" for
@@ -33,7 +94,12 @@ func NewService(addr string, store FrameStore) (*Service, error) {
 	if store == nil {
 		return nil, fmt.Errorf("remote: nil frame store")
 	}
-	s := &Service{store: store}
+	s := &Service{
+		store:   store,
+		frames:  newBlobCache[int](frameCacheCap),
+		renders: newBlobCache[RenderParams](renderCacheCap),
+		deltas:  newBlobCache[deltaKey](deltaCacheCap),
+	}
 	srv, err := newServer(addr, s.handle)
 	if err != nil {
 		return nil, err
@@ -82,13 +148,27 @@ func (s *Service) handle(conn net.Conn) {
 			return
 		}
 		switch msg.op {
-		case opList, opGet, opRender:
+		case opList, opGet, opGetDelta, opRender:
 			reqs.Add(1)
 			go func(m message) {
 				defer reqs.Done()
 				s.serveRequest(w, m)
 			}(msg)
 		case opSubscribe:
+			var flags byte
+			switch len(msg.payload) {
+			case 0: // v2 client: count-only notifies
+			case 1:
+				flags = msg.payload[0]
+			default:
+				if w.sendErr(msg.reqID, &WireError{
+					Code: ErrCodeBadRequest,
+					Msg:  fmt.Sprintf("remote: subscribe payload %d bytes, want 0 or 1", len(msg.payload)),
+				}) != nil {
+					return
+				}
+				continue
+			}
 			// Register the watcher before reading the count so no
 			// publish can fall between them unseen. A re-subscribe
 			// replaces the notifier, so pushes follow the newest
@@ -97,7 +177,7 @@ func (s *Service) handle(conn net.Conn) {
 				if subCancel != nil {
 					subCancel()
 				}
-				notify := newNotifier(w, msg.reqID)
+				notify := newNotifier(s, w, msg.reqID, flags&subFlagInline != 0)
 				cancelWatch := sub.Watch(notify.update)
 				subCancel = func() {
 					cancelWatch()
@@ -120,7 +200,7 @@ func (s *Service) handle(conn net.Conn) {
 	}
 }
 
-// serveRequest handles one List/Get/Render request.
+// serveRequest handles one List/Get/GetDelta/Render request.
 func (s *Service) serveRequest(w *connWriter, msg message) {
 	switch msg.op {
 	case opList:
@@ -148,13 +228,30 @@ func (s *Service) serveRequest(w *connWriter, msg message) {
 		}
 		w.send(msg.reqID, opGetOK, enc)
 
+	case opGetDelta:
+		frame, base, err := decodeGetDelta(msg.payload)
+		if err != nil {
+			w.sendErr(msg.reqID, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()})
+			return
+		}
+		blob, err := s.deltaBlob(frame, base)
+		if err != nil {
+			w.sendErr(msg.reqID, err)
+			return
+		}
+		if len(blob) > maxBody-msgOverhead {
+			w.sendErr(msg.reqID, fmt.Errorf("remote: frame %d delta (%d bytes) exceeds the message limit", frame, len(blob)))
+			return
+		}
+		w.send(msg.reqID, opGetDeltaOK, blob)
+
 	case opRender:
 		params, err := decodeRenderParams(msg.payload)
 		if err != nil {
 			w.sendErr(msg.reqID, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()})
 			return
 		}
-		blob, err := s.renderFrame(params)
+		blob, err := s.renderBlob(params)
 		if err != nil {
 			w.sendErr(msg.reqID, err)
 			return
@@ -163,23 +260,79 @@ func (s *Service) serveRequest(w *connWriter, msg message) {
 	}
 }
 
-// encodedFrame returns frame i in wire encoding, using the store's
-// cached encoding when it has one.
+// encodedFrame returns frame i in wire encoding. Stores holding the
+// encoding (MemStore, LiveRing — encode-once at construction/publish)
+// serve it directly; anything else goes through the frame cache, so N
+// concurrent Gets of the same frame cost one encode.
 func (s *Service) encodedFrame(i int) ([]byte, error) {
 	if es, ok := s.store.(encodedFrameStore); ok {
 		return es.EncodedFrame(i)
 	}
-	rep, err := s.store.Frame(i)
-	if err != nil {
-		return nil, err
+	enc, hit, err := s.frames.get(i, func() ([]byte, error) {
+		rep, err := s.store.Frame(i)
+		if err != nil {
+			return nil, err
+		}
+		return encodeRep(rep)
+	})
+	if err == nil {
+		if hit {
+			s.stats.frameHits.Add(1)
+		} else {
+			s.stats.frameEncodes.Add(1)
+		}
 	}
-	return encodeRep(rep)
+	return enc, err
+}
+
+// deltaBlob returns frame encoded as an XOR residual against base —
+// the GetDelta response — through the delta cache, so a subscriber
+// crowd stepping frame-to-frame costs one residual encode per
+// (frame, base) pair.
+func (s *Service) deltaBlob(frame, base int) ([]byte, error) {
+	blob, hit, err := s.deltas.get(deltaKey{frame, base}, func() ([]byte, error) {
+		cur, err := s.encodedFrame(frame)
+		if err != nil {
+			return nil, err
+		}
+		baseEnc, err := s.encodedFrame(base)
+		if err != nil {
+			return nil, fmt.Errorf("remote: delta base: %w", err)
+		}
+		return render.CompressDelta(cur, baseEnc), nil
+	})
+	if err == nil {
+		if hit {
+			s.stats.deltaHits.Add(1)
+		} else {
+			s.stats.deltaEncodes.Add(1)
+		}
+	}
+	return blob, err
+}
+
+// renderBlob returns the wire blob for a render request through the
+// render cache: identical thin-client views (same frame, camera, TF
+// and quality tier) hit a cached compressed framebuffer.
+func (s *Service) renderBlob(p RenderParams) ([]byte, error) {
+	blob, hit, err := s.renders.get(p, func() ([]byte, error) {
+		return s.renderFrame(p)
+	})
+	if err == nil {
+		if hit {
+			s.stats.renderHits.Add(1)
+		} else {
+			s.stats.renders.Add(1)
+		}
+	}
+	return blob, err
 }
 
 // renderFrame runs the server-side render: the exact volren.RenderStill
 // path a desktop viewer runs locally (core.RenderFrame), so the
-// shipped image is bit-identical to a local render of the fetched
-// frame.
+// lossless tier is bit-identical to a local render of the fetched
+// frame. The preview tier swaps only the wire codec — quantized 8-bit
+// color, no depth — never the render itself.
 func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
 	rep, err := s.store.Frame(p.Frame)
 	if err != nil {
@@ -199,6 +352,9 @@ func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Quality == QualityPreview {
+		return render.CompressFramebufferQuantized(fb), nil
+	}
 	return render.CompressFramebuffer(fb), nil
 }
 
@@ -207,6 +363,14 @@ func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
 // blocking the publisher — this is what keeps a slow client from
 // backpressuring the simulation), and a dedicated goroutine drains it
 // onto the wire as fast as the connection accepts.
+//
+// In inline mode (protocol v3's encode-once broadcast) each drain
+// ships the newest frame's wire encoding in the notify itself: the
+// encoding comes from the store's publish-time cache or the service's
+// single-flight frame cache, so one encode feeds every subscriber and
+// the same buffer is written to every connection (sendVec — only the
+// 12-byte header is per-connection). A frame that is gone by the time
+// the drain runs (live rings evict) degrades to a count-only notify.
 type notifier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -216,7 +380,7 @@ type notifier struct {
 	done    chan struct{}
 }
 
-func newNotifier(w *connWriter, reqID uint64) *notifier {
+func newNotifier(s *Service, w *connWriter, reqID uint64, inline bool) *notifier {
 	n := &notifier{done: make(chan struct{})}
 	n.cond = sync.NewCond(&n.mu)
 	go func() {
@@ -233,11 +397,25 @@ func newNotifier(w *connWriter, reqID uint64) *notifier {
 			frames := n.latest
 			n.sent = frames
 			n.mu.Unlock()
+			if inline && frames > 0 {
+				if enc, err := s.encodedFrame(frames - 1); err == nil &&
+					notifyFrameHeader+len(enc) <= maxBody-msgOverhead {
+					var head [notifyFrameHeader]byte
+					binary.LittleEndian.PutUint64(head[0:], uint64(frames))
+					binary.LittleEndian.PutUint32(head[8:], uint32(frames-1))
+					if w.sendVec(reqID, opNotifyFrame, head[:], enc) != nil {
+						return
+					}
+					s.stats.notifyFrames.Add(1)
+					continue
+				}
+			}
 			payload := make([]byte, 8)
 			binary.LittleEndian.PutUint64(payload, uint64(frames))
 			if w.send(reqID, opNotify, payload) != nil {
 				return
 			}
+			s.stats.notifyCount.Add(1)
 		}
 	}()
 	return n

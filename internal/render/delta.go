@@ -1,0 +1,124 @@
+package render
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Delta codec — the word-RLE machinery generalized to residual planes.
+// CompressDelta ships a byte stream cur as its XOR against a base
+// stream the receiver already holds: between nearby frames of a time
+// series most of the encoding is unchanged, so the residual is
+// dominated by zero words and the RLE collapses it to roughly the size
+// of what actually moved. The round trip is lossless — DecompressDelta
+// reconstructs cur bit for bit, and a trailing CRC of cur catches a
+// receiver applying the delta to the wrong base.
+//
+// Layout (little-endian):
+//
+//	magic "ACDL" | u32 version | u32 len(cur) | u32 len(base) |
+//	u32 crc32(cur) | RLE(residual words)
+//
+// The residual is cur XOR base byte-wise (the shorter stream padded
+// with zeros), packed into little-endian uint32 words, the tail word
+// zero-padded; the op stream is the one documented in rle.go.
+
+var magicDelta = [4]byte{'A', 'C', 'D', 'L'}
+
+const (
+	deltaCodecVersion = 1
+	deltaHeaderLen    = 4 + 4 + 4 + 4 + 4
+
+	// maxDeltaLen bounds the reconstructed stream so a hostile header
+	// cannot force an arbitrary allocation (mirrors the remote
+	// protocol's 1 GiB message bound).
+	maxDeltaLen = 1 << 30
+)
+
+// CompressDelta encodes cur as an RLE-compressed XOR residual against
+// base. base may be any byte stream the receiver also holds (including
+// empty, which degrades to RLE over cur itself).
+func CompressDelta(cur, base []byte) []byte {
+	nw := (len(cur) + 3) / 4
+	words := make([]uint32, nw)
+	// XOR over the overlap, raw cur beyond it; assemble per word so the
+	// zero-padded tail never reads out of bounds.
+	for i := 0; i < nw; i++ {
+		var w uint32
+		for k := 0; k < 4; k++ {
+			off := 4*i + k
+			if off >= len(cur) {
+				break
+			}
+			b := cur[off]
+			if off < len(base) {
+				b ^= base[off]
+			}
+			w |= uint32(b) << (8 * k)
+		}
+		words[i] = w
+	}
+	out := make([]byte, 0, deltaHeaderLen+len(cur)/8+64)
+	out = append(out, magicDelta[:]...)
+	le := binary.LittleEndian
+	out = le.AppendUint32(out, deltaCodecVersion)
+	out = le.AppendUint32(out, uint32(len(cur)))
+	out = le.AppendUint32(out, uint32(len(base)))
+	out = le.AppendUint32(out, crc32.ChecksumIEEE(cur))
+	return appendRLEWords(out, words)
+}
+
+// DecompressDelta reconstructs the stream CompressDelta encoded,
+// applying the residual in data to base. It fails cleanly — never
+// panicking, never over-allocating — on malformed input, and fails
+// with a checksum mismatch when base is not the stream the delta was
+// encoded against.
+func DecompressDelta(data, base []byte) ([]byte, error) {
+	le := binary.LittleEndian
+	if len(data) < deltaHeaderLen {
+		return nil, fmt.Errorf("render: delta blob truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magicDelta {
+		return nil, fmt.Errorf("render: bad delta magic %q", data[:4])
+	}
+	if v := le.Uint32(data[4:]); v != deltaCodecVersion {
+		return nil, fmt.Errorf("render: unsupported delta codec version %d", v)
+	}
+	curLen := int64(le.Uint32(data[8:]))
+	baseLen := int64(le.Uint32(data[12:]))
+	wantCRC := le.Uint32(data[16:])
+	if curLen > maxDeltaLen {
+		return nil, fmt.Errorf("render: implausible delta target size %d", curLen)
+	}
+	if baseLen != int64(len(base)) {
+		return nil, fmt.Errorf("render: delta base is %d bytes, encoder used %d", len(base), baseLen)
+	}
+	nw := int((curLen + 3) / 4)
+	words := make([]uint32, nw)
+	rest, err := decodeRLEWords(data[deltaHeaderLen:], words)
+	if err != nil {
+		return nil, fmt.Errorf("render: delta residual: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("render: %d trailing bytes after delta residual", len(rest))
+	}
+	cur := make([]byte, curLen)
+	for i, w := range words {
+		for k := 0; k < 4; k++ {
+			off := 4*i + k
+			if off >= len(cur) {
+				break
+			}
+			b := byte(w >> (8 * k))
+			if off < len(base) {
+				b ^= base[off]
+			}
+			cur[off] = b
+		}
+	}
+	if got := crc32.ChecksumIEEE(cur); got != wantCRC {
+		return nil, fmt.Errorf("render: delta reconstruction checksum mismatch (computed %08x, want %08x) — wrong base?", got, wantCRC)
+	}
+	return cur, nil
+}

@@ -1,0 +1,127 @@
+package render
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// deltaRoundTrip asserts cur survives the delta codec bit for bit
+// against base, returning the blob.
+func deltaRoundTrip(t *testing.T, cur, base []byte) []byte {
+	t.Helper()
+	blob := CompressDelta(cur, base)
+	got, err := DecompressDelta(blob, base)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatalf("delta round trip mangled stream: %d bytes in, %d out", len(cur), len(got))
+	}
+	return blob
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	noise := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	base := noise(10_000)
+
+	// Identical streams collapse to a near-empty residual.
+	same := append([]byte(nil), base...)
+	if blob := deltaRoundTrip(t, same, base); len(blob) >= len(base)/50 {
+		t.Errorf("identical-stream delta is %d bytes for a %d-byte stream", len(blob), len(base))
+	}
+
+	// A localized edit costs roughly the edit, not the stream.
+	edited := append([]byte(nil), base...)
+	copy(edited[4000:], noise(100))
+	if blob := deltaRoundTrip(t, edited, base); len(blob) >= len(base)/4 {
+		t.Errorf("100-byte edit delta is %d bytes for a %d-byte stream", len(blob), len(base))
+	}
+
+	// Length changes in both directions, including non-word tails.
+	for _, n := range []int{0, 1, 3, 4, 5, 9_997, 10_000, 10_001, 13_003} {
+		cur := noise(n)
+		deltaRoundTrip(t, cur, base)
+	}
+	// And against an empty base (degrades to RLE over cur).
+	deltaRoundTrip(t, noise(503), nil)
+	deltaRoundTrip(t, nil, nil)
+}
+
+// TestDeltaWrongBase: applying a delta to a stream other than the one
+// it was encoded against must fail, not hand back a corrupt frame.
+func TestDeltaWrongBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := make([]byte, 2048)
+	rng.Read(base)
+	cur := append([]byte(nil), base...)
+	cur[100] ^= 0xff
+	blob := CompressDelta(cur, base)
+
+	wrongLen := base[:2047]
+	if _, err := DecompressDelta(blob, wrongLen); err == nil {
+		t.Error("wrong-length base accepted")
+	}
+	wrong := append([]byte(nil), base...)
+	wrong[9] ^= 1
+	if _, err := DecompressDelta(blob, wrong); err == nil {
+		t.Error("wrong-content base accepted (checksum must catch it)")
+	}
+}
+
+func TestDeltaDecodeMalformed(t *testing.T) {
+	base := []byte("the quick brown fox jumps over the lazy dog")
+	good := CompressDelta([]byte("the quick brown cat jumps over the lazy dog"), base)
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:10],
+		"bad magic":        append([]byte("XXXX"), good[4:]...),
+		"bad version":      flipDeltaByte(good, 4),
+		"huge target":      append(append([]byte{}, good[:8]...), append([]byte{255, 255, 255, 255}, good[12:]...)...),
+		"truncated body":   good[:len(good)-3],
+		"trailing garbage": append(append([]byte{}, good...), 9, 9, 9),
+		"flipped residual": flipDeltaByte(good, len(good)-1),
+	}
+	for name, data := range cases {
+		if _, err := DecompressDelta(data, base); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if !bytes.Equal(good, CompressDelta([]byte("the quick brown cat jumps over the lazy dog"), base)) {
+		t.Error("delta compression not deterministic")
+	}
+}
+
+func flipDeltaByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xff
+	return out
+}
+
+// FuzzDeltaCodec: round-trip with fuzzed streams, and the decoder
+// against fuzzed blobs — must never panic or over-allocate.
+func FuzzDeltaCodec(f *testing.F) {
+	f.Add([]byte("current frame bytes"), []byte("base frame bytes"))
+	f.Add([]byte{}, []byte{})
+	f.Add(CompressDelta([]byte("abc"), []byte("abd")), []byte("abd"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		// a as payload: must round-trip exactly against base b.
+		blob := CompressDelta(a, b)
+		got, err := DecompressDelta(blob, b)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(got, a) {
+			t.Fatal("round trip not bit-identical")
+		}
+		// a as hostile blob against base b: must fail cleanly at worst.
+		if cur, err := DecompressDelta(a, b); err == nil && cur == nil && len(a) > 0 {
+			t.Fatal("nil reconstruction without error")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hybrid"
+)
+
+// quantFrame builds a sparsely covered framebuffer like a rendered
+// splat frame.
+func quantFrame(t testing.TB, w, h, lit int) *Framebuffer {
+	t.Helper()
+	fb, err := NewFramebuffer(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < lit; i++ {
+		fb.writeFragment(rng.Intn(w), rng.Intn(h), rng.Float32(), hybrid.RGBA{
+			R: rng.Float64(), G: rng.Float64(), B: rng.Float64(), A: 0.8,
+		}, BlendAlpha, true, true)
+	}
+	return fb
+}
+
+// TestQuantizedRoundTrip pins the preview tier's contract: lossy
+// against the source framebuffer, but bit-identical to its own decode
+// — decode → re-encode → decode is a fixed point.
+func TestQuantizedRoundTrip(t *testing.T) {
+	fb := quantFrame(t, 96, 96, 400)
+	blob := CompressFramebufferQuantized(fb)
+	dec, err := DecompressFramebufferQuantized(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != fb.W || dec.H != fb.H {
+		t.Fatalf("size %dx%d, want %dx%d", dec.W, dec.H, fb.W, fb.H)
+	}
+	// Quantization error bounded by half a step per channel.
+	for i := range fb.Color {
+		want := fb.Color[i]
+		if want < 0 {
+			want = 0
+		}
+		if want > 1 {
+			want = 1
+		}
+		if d := math.Abs(float64(dec.Color[i] - want)); d > 1.0/255/2+1e-6 {
+			t.Fatalf("color word %d off by %g (> half a quantization step)", i, d)
+		}
+	}
+	// Depth is dropped: the decode carries a cleared depth plane.
+	for i := range dec.Depth {
+		if !math.IsInf(float64(dec.Depth[i]), 1) {
+			t.Fatalf("depth word %d = %g, want +Inf (depth is not shipped)", i, dec.Depth[i])
+		}
+	}
+	// Idempotence: the decoded frame re-encodes to the same blob and
+	// decodes bit-identically.
+	blob2 := CompressFramebufferQuantized(dec)
+	if !bytes.Equal(blob, blob2) {
+		t.Error("re-encode of decoded frame differs (quantization not idempotent)")
+	}
+	dec2, err := DecompressFramebufferQuantized(blob2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.Color {
+		if math.Float32bits(dec2.Color[i]) != math.Float32bits(dec.Color[i]) {
+			t.Fatalf("second decode differs at color word %d", i)
+		}
+	}
+}
+
+// TestQuantizedEconomics: the preview tier lands well below the
+// lossless codec on the same frame (~4-5x raw, and still smaller
+// after both sides' RLE).
+func TestQuantizedEconomics(t *testing.T) {
+	fb := quantFrame(t, 128, 128, 3000)
+	lossless := len(CompressFramebuffer(fb))
+	preview := len(CompressFramebufferQuantized(fb))
+	if preview*2 >= lossless {
+		t.Errorf("preview blob %d bytes vs lossless %d; want at least 2x smaller", preview, lossless)
+	}
+}
+
+// TestDecodeFramebufferSniffsMagic: the shared decoder dispatches on
+// the wire magic, so a client needs no out-of-band codec flag.
+func TestDecodeFramebufferSniffsMagic(t *testing.T) {
+	fb := quantFrame(t, 32, 32, 50)
+	if dec, err := DecodeFramebuffer(CompressFramebuffer(fb)); err != nil {
+		t.Errorf("lossless blob: %v", err)
+	} else if math.Float32bits(dec.Color[0]) != math.Float32bits(fb.Color[0]) {
+		t.Error("lossless blob decoded lossily")
+	}
+	if _, err := DecodeFramebuffer(CompressFramebufferQuantized(fb)); err != nil {
+		t.Errorf("quantized blob: %v", err)
+	}
+	if _, err := DecodeFramebuffer([]byte("bogus")); err == nil {
+		t.Error("garbage decoded without error")
+	}
+}
+
+func TestQuantizedDecodeMalformed(t *testing.T) {
+	good := CompressFramebufferQuantized(quantFrame(t, 16, 16, 30))
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:10],
+		"bad magic":        append([]byte("XXXX"), good[4:]...),
+		"bad version":      append(append([]byte{}, good[:4]...), append([]byte{99, 0, 0, 0}, good[8:]...)...),
+		"zero width":       append(append([]byte{}, good[:8]...), append([]byte{0, 0, 0, 0}, good[12:]...)...),
+		"huge dims":        append(append([]byte{}, good[:8]...), append([]byte{255, 255, 255, 255, 255, 255, 255, 255}, good[16:]...)...),
+		"truncated body":   good[:len(good)-3],
+		"trailing garbage": append(append([]byte{}, good...), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := DecompressFramebufferQuantized(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzQuantizedCodec: the preview decoder must never panic or
+// over-allocate on hostile input, and valid decodes must re-encode
+// stably.
+func FuzzQuantizedCodec(f *testing.F) {
+	fb, _ := NewFramebuffer(8, 8)
+	f.Add(CompressFramebufferQuantized(fb))
+	f.Add([]byte("ACFQ\x01\x00\x00\x00"))
+	f.Add(make([]byte, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecompressFramebufferQuantized(data)
+		if err != nil {
+			return
+		}
+		if dec == nil {
+			t.Fatal("nil framebuffer without error")
+		}
+		again, err := DecompressFramebufferQuantized(CompressFramebufferQuantized(dec))
+		if err != nil {
+			t.Fatalf("re-encode of valid decode failed: %v", err)
+		}
+		for i := range dec.Color {
+			if math.Float32bits(again.Color[i]) != math.Float32bits(dec.Color[i]) {
+				t.Fatal("quantized round trip not a fixed point")
+			}
+		}
+	})
+}

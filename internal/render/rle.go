@@ -23,6 +23,12 @@ import (
 //
 //	control c < 0x80:  c+1 literal words follow        (1..128)
 //	control c >= 0x80: next word repeats (c&0x7f)+2 times (2..129)
+//
+// The same op stream over plain uint32 words is the shared core of the
+// two derived wire codecs: CompressDelta (delta.go — XOR residuals of
+// two byte streams, for frame-to-frame transfers) and
+// CompressFramebufferQuantized (quant.go — packed 8-bit RGBA preview
+// images).
 
 var magicFB = [4]byte{'A', 'C', 'F', 'B'}
 
@@ -133,6 +139,109 @@ func DecompressFramebuffer(data []byte) (*Framebuffer, error) {
 		return nil, fmt.Errorf("render: %d trailing bytes after framebuffer", len(rest))
 	}
 	return fb, nil
+}
+
+// appendRLEWords is appendRLE over raw uint32 words — the same op
+// format, shared by the delta and quantized codecs, whose planes are
+// not float32 bit patterns.
+func appendRLEWords(out []byte, words []uint32) []byte {
+	le := binary.LittleEndian
+	i := 0
+	litStart := -1
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > 128 {
+				n = 128
+			}
+			out = append(out, byte(n-1))
+			for _, w := range words[litStart : litStart+n] {
+				out = le.AppendUint32(out, w)
+			}
+			litStart += n
+		}
+		litStart = -1
+	}
+	for i < len(words) {
+		run := 1
+		for i+run < len(words) && words[i+run] == words[i] {
+			run++
+		}
+		if run >= 2 {
+			if litStart >= 0 {
+				flushLits(i)
+			}
+			for run > 0 {
+				n := run
+				if n > 129 {
+					n = 129
+				}
+				if n < 2 { // a leftover single word joins the next literal run
+					break
+				}
+				out = append(out, byte(0x80|(n-2)))
+				out = le.AppendUint32(out, words[i])
+				i += n
+				run -= n
+			}
+			if run == 1 {
+				litStart = i
+				i++
+			}
+			continue
+		}
+		if litStart < 0 {
+			litStart = i
+		}
+		i++
+	}
+	if litStart >= 0 {
+		flushLits(len(words))
+	}
+	return out
+}
+
+// decodeRLEWords fills dst exactly with uint32 words, returning the
+// unconsumed remainder. Malformed input errors; it never panics.
+func decodeRLEWords(data []byte, dst []uint32) ([]byte, error) {
+	le := binary.LittleEndian
+	i := 0
+	for i < len(dst) {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("stream ended %d words short", len(dst)-i)
+		}
+		c := data[0]
+		data = data[1:]
+		if c < 0x80 {
+			n := int(c) + 1
+			if n > len(dst)-i {
+				return nil, fmt.Errorf("literal run of %d overruns plane", n)
+			}
+			if len(data) < 4*n {
+				return nil, fmt.Errorf("literal run truncated")
+			}
+			for k := 0; k < n; k++ {
+				dst[i+k] = le.Uint32(data[4*k:])
+			}
+			data = data[4*n:]
+			i += n
+		} else {
+			n := int(c&0x7f) + 2
+			if n > len(dst)-i {
+				return nil, fmt.Errorf("repeat run of %d overruns plane", n)
+			}
+			if len(data) < 4 {
+				return nil, fmt.Errorf("repeat run truncated")
+			}
+			v := le.Uint32(data)
+			data = data[4:]
+			for k := 0; k < n; k++ {
+				dst[i+k] = v
+			}
+			i += n
+		}
+	}
+	return data, nil
 }
 
 // decodeRLE fills dst exactly, returning the unconsumed remainder.

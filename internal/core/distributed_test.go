@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/pipeline"
 	"repro/internal/remote"
 )
 
@@ -182,6 +183,135 @@ func TestStreamRemoteExtractOptionValidation(t *testing.T) {
 	for name, opts := range map[string]StreamOptions{
 		"skip extract": {ExtractAddr: "127.0.0.1:1", SkipExtract: true},
 		"keep trees":   {ExtractAddr: "127.0.0.1:1", KeepTrees: true},
+	} {
+		s := p.StreamFrames(context.Background(), FrameSliceSource(frames...), opts)
+		for range s.Out {
+			t.Errorf("%s: stream emitted output", name)
+		}
+		if err := s.Wait(); err == nil {
+			t.Errorf("%s: invalid options accepted", name)
+		}
+	}
+}
+
+// TestStreamFleetExtractSurvivesWorkerLoss is the fleet acceptance
+// test: a 3-worker fleet stream loses one worker mid-run and still
+// delivers every frame, in order, byte-for-byte identical to the
+// all-local run — the failover is invisible in the output.
+func TestStreamFleetExtractSurvivesWorkerLoss(t *testing.T) {
+	p, frames := streamFixture(t, 3000)
+	// Pin the splat worker count: bit-identity across processes
+	// requires both sides to use the same value.
+	p.Extract.Workers = 2
+	long := append(frames, frames...)
+	long = append(long, frames...)
+	long = append(long, frames...) // 12 frames
+
+	var want [][]byte
+	local := p.StreamFrames(context.Background(), FrameSliceSource(long...), StreamOptions{
+		PartitionWorkers: 2,
+		ExtractWorkers:   2,
+	})
+	for r := range local.Out {
+		want = append(want, r.Rep.AppendBinary(nil))
+	}
+	if err := local.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*remote.Worker, 3)
+	addrs := make([]string, 3)
+	for i := range workers {
+		w, err := remote.NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[i], addrs[i] = w, w.Addr()
+	}
+	before := runtime.NumGoroutine() // workers up, stream not yet started
+
+	s := p.StreamFrames(context.Background(), FrameSliceSource(long...), StreamOptions{
+		ExtractAddrs:   addrs,
+		ExtractWorkers: 2,
+		Buffer:         2,
+		ExtractPolicy: &remote.FleetOptions{
+			Retry:         pipeline.RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Jitter: -1},
+			EjectAfter:    1,
+			ProbeInterval: -1,
+		},
+	})
+	got := 0
+	for r := range s.Out {
+		if r.Index != got {
+			t.Fatalf("result %d arrived with index %d (order violated across failover)", got, r.Index)
+		}
+		if !bytes.Equal(r.Rep.AppendBinary(nil), want[got]) {
+			t.Errorf("frame %d: fleet extraction differs from local", got)
+		}
+		got++
+		if got == 2 {
+			// Kill a member with the stream mid-flight; its frames must
+			// re-dispatch to the survivors.
+			workers[0].Close()
+		}
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait = %v after losing one of three workers", err)
+	}
+	if got != len(long) {
+		t.Fatalf("stream emitted %d frames, want %d (frames lost in failover)", got, len(long))
+	}
+	noLeaks(t, before)
+}
+
+// TestStreamFleetAllWorkersDown: when every fleet member dies the
+// stream fails cleanly once the retry policy is spent — no hang, no
+// leaked stage.
+func TestStreamFleetAllWorkersDown(t *testing.T) {
+	p, frames := streamFixture(t, 1000)
+	w1, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	long := append(frames, frames...) // 6 frames
+	s := p.StreamFrames(context.Background(), FrameSliceSource(long...), StreamOptions{
+		ExtractAddrs:   []string{w1.Addr(), w2.Addr()},
+		ExtractWorkers: 2,
+		ExtractPolicy: &remote.FleetOptions{
+			Retry:         pipeline.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Jitter: -1},
+			EjectAfter:    1,
+			ProbeInterval: -1,
+		},
+	})
+	if _, ok := <-s.Out; !ok {
+		t.Fatal("stream produced nothing before the outage")
+	}
+	w1.Close()
+	w2.Close()
+	for range s.Out {
+	}
+	if err := s.Wait(); err == nil {
+		t.Fatal("Wait returned nil after the whole fleet died")
+	}
+	noLeaks(t, before)
+}
+
+// TestStreamExtractAddrsValidation: ExtractAddr and ExtractAddrs are
+// mutually exclusive, and the fleet path inherits the single-worker
+// incompatibilities.
+func TestStreamExtractAddrsValidation(t *testing.T) {
+	p, frames := streamFixture(t, 500)
+	for name, opts := range map[string]StreamOptions{
+		"both addr forms": {ExtractAddr: "127.0.0.1:1", ExtractAddrs: []string{"127.0.0.1:2"}},
+		"skip extract":    {ExtractAddrs: []string{"127.0.0.1:1"}, SkipExtract: true},
+		"keep trees":      {ExtractAddrs: []string{"127.0.0.1:1"}, KeepTrees: true},
 	} {
 		s := p.StreamFrames(context.Background(), FrameSliceSource(frames...), opts)
 		for range s.Out {

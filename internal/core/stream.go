@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/beam"
 	"repro/internal/emsim"
@@ -94,19 +95,21 @@ var _ FrameSink = (*remote.LiveRing)(nil)
 // package's buffer pool, so a steady-state distributed stream
 // allocates like the local one.
 type remoteExtractExecutor struct {
-	cli        *remote.Client
+	fl         *remote.Fleet
 	p          *ParticlePipeline
 	proj       *pipeline.SlicePool[vec.V3]
 	keepFrames bool
 }
 
 // Apply implements pipeline.StageExecutor; it is called from up to
-// Workers goroutines, keeping that many frames in flight on the one
-// multiplexed worker connection.
+// Workers goroutines, keeping Window frames in flight per healthy
+// fleet member. A lost attempt is re-dispatched by the fleet beneath
+// the stage's sequence tagging, so failover never disturbs frame
+// order or content.
 func (x *remoteExtractExecutor) Apply(ctx context.Context, r StreamResult) (StreamResult, error) {
 	pts := x.proj.Get(r.Frame.E.Len())
 	x.p.project(r.Frame.E, *pts)
-	rep, err := x.cli.ComputeExtract(ctx, *pts, x.p.Tree, x.p.Extract)
+	rep, err := x.fl.ComputeExtract(ctx, *pts, x.p.Tree, x.p.Extract)
 	x.proj.Put(pts)
 	if err != nil {
 		return r, fmt.Errorf("frame %d: %w", r.Index, err)
@@ -183,8 +186,29 @@ type StreamOptions struct {
 	// round-trips; a dial failure, worker crash, or cancellation fails
 	// the stream through the usual first-error drain. Incompatible with
 	// SkipExtract and KeepTrees (the tree only ever exists on the
-	// worker).
+	// worker). ExtractAddr is the one-element case of ExtractAddrs;
+	// setting both is an error.
 	ExtractAddr string
+
+	// ExtractAddrs places extraction on a fleet of workers: frames
+	// stripe across the healthy members (ExtractWorkers in flight per
+	// worker), a worker that fails or hangs mid-frame forfeits its
+	// frames to surviving members (bit-identical re-dispatch, order
+	// preserved by the stage reorderer), ejected workers are
+	// re-probed and rejoin, and the stream fails only when no worker
+	// can serve a frame within the retry policy. Every member must
+	// advertise the hybrid-extraction kernel; a mis-provisioned
+	// member fails the stream at startup. Same incompatibilities as
+	// ExtractAddr.
+	ExtractAddrs []string
+
+	// ExtractPolicy optionally tunes the extraction fleet's
+	// robustness machinery — per-attempt timeout, retry policy,
+	// ejection threshold, probe interval, bandwidth model, custom
+	// dialer. Kernel and Window are owned by the stream (the kernel
+	// is always hybrid extraction; the window is ExtractWorkers). nil
+	// means defaults.
+	ExtractPolicy *remote.FleetOptions
 }
 
 // StreamResult is the per-frame output of StreamFrames, emitted in
@@ -235,7 +259,14 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 	if opts.SkipExtract && (opts.Render != nil || opts.Sink != nil) {
 		return fail(fmt.Errorf("core: StreamOptions.Render/Sink require extraction; unset SkipExtract"))
 	}
+	if opts.ExtractAddr != "" && len(opts.ExtractAddrs) > 0 {
+		return fail(fmt.Errorf("core: set StreamOptions.ExtractAddr or ExtractAddrs, not both"))
+	}
+	addrs := opts.ExtractAddrs
 	if opts.ExtractAddr != "" {
+		addrs = []string{opts.ExtractAddr}
+	}
+	if len(addrs) > 0 {
 		if opts.SkipExtract {
 			return fail(fmt.Errorf("core: StreamOptions.ExtractAddr places extraction remotely; unset SkipExtract"))
 		}
@@ -248,16 +279,27 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 		buf = 1
 	}
 
-	// Dial the remote worker before starting any stage goroutine, so a
-	// bad address fails the stream without leaving a source running.
-	var worker *remote.Client
-	if opts.ExtractAddr != "" {
-		cli, err := remote.Dial(opts.ExtractAddr)
-		if err != nil {
-			return fail(fmt.Errorf("core: dialing extract worker %s: %w", opts.ExtractAddr, err))
+	// Build the worker fleet before starting any stage goroutine, so a
+	// bad address or a mis-provisioned worker fails the stream without
+	// leaving a source running. A single address is simply a
+	// one-member fleet.
+	var fleet *remote.Fleet
+	if len(addrs) > 0 {
+		fo := remote.FleetOptions{}
+		if opts.ExtractPolicy != nil {
+			fo = *opts.ExtractPolicy
 		}
-		worker = cli
-		pl.Defer(func() { cli.Close() })
+		fo.Kernel = remote.KernelHybridExtract
+		fo.Window = opts.ExtractWorkers
+		if fo.Window < 1 {
+			fo.Window = 1
+		}
+		fl, err := remote.NewFleet(addrs, fo)
+		if err != nil {
+			return fail(fmt.Errorf("core: dialing extract worker %s: %w", strings.Join(addrs, ","), err))
+		}
+		fleet = fl
+		pl.Defer(func() { fl.Close() })
 	}
 
 	// Source: number the frames as they arrive.
@@ -272,19 +314,25 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 
 	proj := pipeline.NewSlicePool[vec.V3]()
 	var out <-chan StreamResult
-	if worker != nil {
+	if fleet != nil {
 		// Distributed placement: partition+extract fuse into one stage
 		// whose executor ships each frame's projected point set to the
-		// worker and gets the hybrid representation back. ExtractWorkers
-		// alone sizes the stage — it is the caller's bound on concurrent
-		// kernel runs (and memory) on the worker, so PartitionWorkers
-		// must not inflate it. Each in-flight frame overlaps its WAN
-		// round-trip on the multiplexed connection; the MapExec
-		// reorderer restores frame order exactly as it does for the
-		// in-process pool.
+		// fleet and gets the hybrid representation back. ExtractWorkers
+		// bounds the concurrent kernel runs (and memory) on each
+		// worker — it is the fleet's per-member window — so the stage
+		// runs ExtractWorkers × members dispatch goroutines to keep
+		// every member's window fillable. Each in-flight frame overlaps
+		// its WAN round-trip on the member's multiplexed connection;
+		// the MapExec reorderer restores frame order exactly as it does
+		// for the in-process pool, so fleet failover never reorders
+		// output.
+		window := opts.ExtractWorkers
+		if window < 1 {
+			window = 1
+		}
 		out = pipeline.MapExec(pl, frames,
-			pipeline.StageConfig{Name: "extract@" + opts.ExtractAddr, Workers: opts.ExtractWorkers, Buf: buf},
-			&remoteExtractExecutor{cli: worker, p: p, proj: proj, keepFrames: opts.KeepFrames})
+			pipeline.StageConfig{Name: "extract@" + strings.Join(addrs, ","), Workers: window * len(addrs), Buf: buf},
+			&remoteExtractExecutor{fl: fleet, p: p, proj: proj, keepFrames: opts.KeepFrames})
 	} else {
 		// Partition: project the frame onto the pipeline's axes into a
 		// recycled scratch buffer (octree.Build copies what it keeps),

@@ -271,3 +271,91 @@ func BenchmarkFanOut(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetExtract scales the distributed extraction stage
+// across 1, 2, and 3 fleet members, loopback and over the modeled
+// wide-area link. The throttle is per connection — each member gets
+// its own modeled link, as distinct machines would — so the throttled
+// rows are where fleet striping pays: aggregate bandwidth grows with
+// membership and throughput should scale close to linearly, while
+// loopback rows show the dispatch overhead when the wire is free.
+// Window×members frames stay in flight, as a stream stage would keep
+// them.
+func BenchmarkFleetExtract(b *testing.B) {
+	pts := testPoints(7, 20_000)
+	tcfg := octree.DefaultConfig()
+	tcfg.Workers = 2
+	ecfg := hybrid.ExtractConfig{VolumeRes: 16, Budget: 2000, Workers: 2}
+
+	const members = 3
+	addrs := make([]string, members)
+	for i := range addrs {
+		w, err := NewWorker("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		addrs[i] = w.Addr()
+	}
+
+	reqBytes := int64(len(appendExtractRequest(nil, pts, tcfg, ecfg)))
+	tree, err := octree.Build(pts, tcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := hybrid.Extract(tree, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repBytes := int64(len(rep.AppendBinary(nil)))
+	// ~20ms per reply at this frame size, per member link: slow enough
+	// that the modeled transfer dominates the kernel compute even on a
+	// small host, so the throttled rows isolate the striping gain.
+	throttle := repBytes * 50
+
+	const window = 2
+	for _, n := range []int{1, 2, 3} {
+		run := func(link string, bps int64) {
+			b.Run(fmt.Sprintf("%s/workers=%d", link, n), func(b *testing.B) {
+				fl, err := NewFleet(addrs[:n], FleetOptions{
+					Kernel:        KernelHybridExtract,
+					Window:        window,
+					BandwidthBps:  bps,
+					ProbeInterval: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer fl.Close()
+				b.SetBytes(reqBytes + repBytes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				sem := make(chan struct{}, window*n)
+				errs := make(chan error, 1)
+				var wg sync.WaitGroup
+				for i := 0; i < b.N; i++ {
+					sem <- struct{}{}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-sem }()
+						if _, err := fl.ComputeExtract(context.Background(), pts, tcfg, ecfg); err != nil {
+							select {
+							case errs <- err:
+							default:
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+			})
+		}
+		run("loopback", 0)
+		run("throttled", throttle)
+	}
+}

@@ -5,12 +5,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fieldline"
 	"repro/internal/hybrid"
 	"repro/internal/octree"
 	"repro/internal/render"
@@ -23,9 +25,10 @@ import (
 // so a prefetching viewer overlaps WAN fetches instead of serializing
 // them. Methods are safe for concurrent use.
 type Client struct {
-	conn net.Conn
-	wmu  sync.Mutex
-	bw   *bufio.Writer
+	conn       net.Conn
+	reqTimeout time.Duration
+	wmu        sync.Mutex
+	bw         *bufio.Writer
 
 	bandwidthBps atomic.Int64
 
@@ -37,22 +40,66 @@ type Client struct {
 	done    chan struct{}
 }
 
-// Dial connects and runs the version handshake.
+// DefaultRequestTimeout bounds a context-free request round trip when
+// ClientOptions.RequestTimeout is left zero: a hung or wedged server
+// fails the call instead of parking it forever.
+const DefaultRequestTimeout = 30 * time.Second
+
+// ClientOptions tune a client session.
+type ClientOptions struct {
+	// RequestTimeout bounds each round trip made without a caller
+	// context (List, FetchFrame, Render, FetchFrameDelta): if no reply
+	// arrives within it, the call fails with a timeout error instead
+	// of blocking forever on a hung server. 0 means
+	// DefaultRequestTimeout; negative disables the bound (raise or
+	// disable it when SetBandwidth models links slower than a frame
+	// per timeout). Context-taking calls (Compute, Kernels) are
+	// governed by their context alone.
+	RequestTimeout time.Duration
+}
+
+func (o ClientOptions) requestTimeout() time.Duration {
+	switch {
+	case o.RequestTimeout > 0:
+		return o.RequestTimeout
+	case o.RequestTimeout < 0:
+		return 0
+	default:
+		return DefaultRequestTimeout
+	}
+}
+
+// Dial connects and runs the version handshake with default options.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, ClientOptions{})
+}
+
+// DialWith is Dial with explicit options.
+func DialWith(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("remote: %w", err)
 	}
+	return NewClientConn(conn, opts)
+}
+
+// NewClientConn runs the version handshake over an established
+// connection and returns the client session for it. It is the seam
+// under Dial for callers that own the transport — a fleet's custom
+// dialer, or a test wrapping the connection in a fault injector. On
+// error the connection is closed.
+func NewClientConn(conn net.Conn, opts ClientOptions) (*Client, error) {
 	if err := clientHello(conn); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	c := &Client{
-		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 1<<16),
-		pending: make(map[uint64]chan message),
-		subs:    make(map[uint64]*Subscription),
-		done:    make(chan struct{}),
+		conn:       conn,
+		reqTimeout: opts.requestTimeout(),
+		bw:         bufio.NewWriterSize(conn, 1<<16),
+		pending:    make(map[uint64]chan message),
+		subs:       make(map[uint64]*Subscription),
+		done:       make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -121,9 +168,21 @@ func (c *Client) readLoop() {
 }
 
 // roundTrip sends one request and waits for its response, translating
-// opError replies.
+// opError replies. The wait is bounded by the client's request timeout
+// (ClientOptions.RequestTimeout), so a hung server fails the call
+// rather than parking it forever.
 func (c *Client) roundTrip(op byte, payload []byte) (message, error) {
-	return c.roundTripCtx(context.Background(), op, payload)
+	ctx := context.Background()
+	if c.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+	}
+	msg, err := c.roundTripCtx(ctx, op, payload)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		return message{}, fmt.Errorf("remote: no reply within %v: %w", c.reqTimeout, err)
+	}
+	return msg, err
 }
 
 // roundTripCtx is roundTrip under a caller context: a cancellation
@@ -355,6 +414,23 @@ func (c *Client) Compute(ctx context.Context, kernel string, req []byte) ([]byte
 	return msg.payload, nil
 }
 
+// Kernels asks a worker which stage kernels it hosts — the v4
+// provisioning check a fleet runs before admitting a member. A store
+// service answers with ErrCodeUnknownVerb, which is itself the
+// answer: this endpoint hosts no kernels at all.
+func (c *Client) Kernels(ctx context.Context) ([]string, error) {
+	msg, err := c.roundTripCtx(ctx, opKernels, nil)
+	if err != nil {
+		return nil, err
+	}
+	if msg.op != opKernelsOK {
+		return nil, fmt.Errorf("remote: unexpected kernels response %#02x", msg.op)
+	}
+	names, err := decodeKernelList(msg.payload)
+	msg.recycle() // decodeKernelList copies the names out
+	return names, err
+}
+
 // ComputeExtract ships one projected point set to the worker's
 // hybrid-extraction kernel and decodes the representation it sends
 // back — the remote form of octree.Build + hybrid.Extract with the
@@ -382,6 +458,34 @@ func (c *Client) ComputeExtract(ctx context.Context, pts []vec.V3, tcfg octree.C
 		return nil, err
 	}
 	return rep, nil
+}
+
+// ComputeTrace ships one batch of field-line seeds to the worker's
+// trace kernel and decodes the integrated lines — the remote form of
+// fieldline.TraceAll over the named analytic field, bit-identical to
+// running it locally (lines travel in full double precision).
+// cfg.Domain is a function and cannot cross the wire; configs that set
+// it are rejected here rather than silently traced unbounded.
+func (c *Client) ComputeTrace(ctx context.Context, spec FieldSpec, seeds []vec.V3, cfg fieldline.Config, sign float64, workers int) ([]*fieldline.Line, error) {
+	if cfg.Domain != nil {
+		return nil, fmt.Errorf("remote: fieldline.Config.Domain cannot ship to a trace kernel")
+	}
+	buf, err := appendComputeHeader(getBytes(0), KernelFieldlineTrace)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendTraceRequest(buf, spec, seeds, cfg, sign, workers)
+	msg, err := c.roundTripCtx(ctx, opCompute, buf)
+	putBytes(buf)
+	if err != nil {
+		return nil, err
+	}
+	if msg.op != opComputeOK {
+		return nil, fmt.Errorf("remote: unexpected compute response %#02x", msg.op)
+	}
+	lines, err := decodeTraceReply(msg.payload)
+	msg.recycle() // decodeTraceReply copies
+	return lines, err
 }
 
 // Subscription is a live feed of the server's frame count. Updates is

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/fieldline"
 	"repro/internal/hybrid"
 	"repro/internal/octree"
 	"repro/internal/vec"
@@ -30,6 +31,15 @@ import (
 // name, and old workers answer it with ErrCodeUnknownKernel instead of
 // misdecoding.
 const KernelHybridExtract = "hybrid.extract.v1"
+
+// KernelFieldlineTrace is the second built-in kernel: batches of field
+// line seeds in, integrated lines out (fieldline.TraceAll on the
+// worker's cores). The field itself is named, not shipped — the
+// request selects one of the analytic FieldSpec kinds with its
+// parameters, so the blob stays a few bytes per seed. Tracing over a
+// sampled solver frame would mean shipping the frame; that stays
+// local for now.
+const KernelFieldlineTrace = "fieldline.trace.v1"
 
 // maxKernelName bounds the kernel-name field (it is length-prefixed
 // with one byte).
@@ -149,6 +159,251 @@ func appendExtractRequest(dst []byte, pts []vec.V3, tcfg octree.Config, ecfg hyb
 		dst = le.AppendUint64(dst, math.Float64bits(p.Z))
 	}
 	return le.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// ---- field-line trace kernel blob -----------------------------------
+
+// FieldKind names an analytic field the trace kernel can integrate.
+type FieldKind uint8
+
+const (
+	// FieldUniform is the constant field Params[0:3].
+	FieldUniform FieldKind = 0
+	// FieldDipole is an ideal dipole at the origin with moment
+	// Params[0:3]: B(r) = (3 r̂ (m·r̂) − m) / |r|³.
+	FieldDipole FieldKind = 1
+	// FieldVortex is the rigid-rotation field ω × r with
+	// ω = Params[0:3] — its lines are circles, exercising the
+	// CloseLoop termination.
+	FieldVortex FieldKind = 2
+)
+
+// FieldSpec selects the field a remote trace integrates.
+type FieldSpec struct {
+	Kind   FieldKind
+	Params [4]float64
+}
+
+// Field instantiates the named analytic field.
+func (s FieldSpec) Field() (fieldline.Field, error) {
+	p := vec.New(s.Params[0], s.Params[1], s.Params[2])
+	switch s.Kind {
+	case FieldUniform:
+		return fieldline.FieldFunc(func(vec.V3) vec.V3 { return p }), nil
+	case FieldDipole:
+		return fieldline.FieldFunc(func(r vec.V3) vec.V3 {
+			d2 := r.Len2()
+			if d2 == 0 {
+				return vec.V3{}
+			}
+			d := math.Sqrt(d2)
+			rhat := r.Scale(1 / d)
+			return rhat.Scale(3 * p.Dot(rhat)).Sub(p).Scale(1 / (d2 * d))
+		}), nil
+	case FieldVortex:
+		return fieldline.FieldFunc(func(r vec.V3) vec.V3 { return p.Cross(r) }), nil
+	default:
+		return nil, fmt.Errorf("remote: unknown field kind %d", s.Kind)
+	}
+}
+
+// The trace request blob ("ACFS" — accelerator field seeds) carries
+// the field spec, the integration config, and the seed batch:
+//
+//	magic "ACFS" | u32 version | u8 kind | 4 f64 params | f64 Step |
+//	i64 MaxSteps | f64 MinMag | u8 closeLoop | f64 sign | i64 workers |
+//	i64 n | n × (3 f64) | u32 crc32 (all preceding bytes)
+//
+// Config.Domain is a Go function and cannot ship; ComputeTrace rejects
+// configs that set it. Workers ships verbatim like the extract blob's
+// worker fields — TraceAll is bit-identical at every worker count, so
+// this only matters for the worker's scheduling, not the result.
+
+var magicFieldSeeds = [4]byte{'A', 'C', 'F', 'S'}
+
+const (
+	fieldSeedsVersion = 1
+	// traceReqFixed is the request blob size without the seeds.
+	traceReqFixed = 4 + 4 + 1 + 4*8 + 8 + 8 + 8 + 1 + 8 + 8 + 8 + 4
+)
+
+// appendTraceRequest appends the trace kernel's request blob.
+func appendTraceRequest(dst []byte, spec FieldSpec, seeds []vec.V3, cfg fieldline.Config, sign float64, workers int) []byte {
+	need := traceReqFixed + 24*len(seeds)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	le := binary.LittleEndian
+	dst = append(dst, magicFieldSeeds[:]...)
+	dst = le.AppendUint32(dst, fieldSeedsVersion)
+	dst = append(dst, byte(spec.Kind))
+	for _, f := range spec.Params {
+		dst = le.AppendUint64(dst, math.Float64bits(f))
+	}
+	dst = le.AppendUint64(dst, math.Float64bits(cfg.Step))
+	dst = le.AppendUint64(dst, uint64(int64(cfg.MaxSteps)))
+	dst = le.AppendUint64(dst, math.Float64bits(cfg.MinMag))
+	if cfg.CloseLoop {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = le.AppendUint64(dst, math.Float64bits(sign))
+	dst = le.AppendUint64(dst, uint64(int64(workers)))
+	dst = le.AppendUint64(dst, uint64(int64(len(seeds))))
+	for _, s := range seeds {
+		dst = le.AppendUint64(dst, math.Float64bits(s.X))
+		dst = le.AppendUint64(dst, math.Float64bits(s.Y))
+		dst = le.AppendUint64(dst, math.Float64bits(s.Z))
+	}
+	return le.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeTraceRequest parses a trace request blob, verifying the
+// checksum. Nothing aliases p.
+func decodeTraceRequest(p []byte) (spec FieldSpec, seeds []vec.V3, cfg fieldline.Config, sign float64, workers int, err error) {
+	le := binary.LittleEndian
+	fail := func(format string, args ...any) (FieldSpec, []vec.V3, fieldline.Config, float64, int, error) {
+		return FieldSpec{}, nil, fieldline.Config{}, 0, 0, fmt.Errorf(format, args...)
+	}
+	if len(p) < traceReqFixed {
+		return fail("remote: trace request truncated (%d bytes)", len(p))
+	}
+	if [4]byte(p[:4]) != magicFieldSeeds {
+		return fail("remote: bad field-seeds magic %q", p[:4])
+	}
+	if v := le.Uint32(p[4:]); v != fieldSeedsVersion {
+		return fail("remote: unsupported field-seeds version %d", v)
+	}
+	n := int64(le.Uint64(p[82:]))
+	if n < 0 || n > int64(maxBody)/24 {
+		return fail("remote: implausible seed count %d", n)
+	}
+	if int64(len(p)) != int64(traceReqFixed)+24*n {
+		return fail("remote: trace request is %d bytes, want %d for %d seeds",
+			len(p), int64(traceReqFixed)+24*n, n)
+	}
+	crcOff := len(p) - 4
+	if got, want := le.Uint32(p[crcOff:]), crc32.ChecksumIEEE(p[:crcOff]); got != want {
+		return fail("remote: trace request checksum mismatch (wire %08x, computed %08x)", got, want)
+	}
+	spec.Kind = FieldKind(p[8])
+	for i := range spec.Params {
+		spec.Params[i] = math.Float64frombits(le.Uint64(p[9+8*i:]))
+	}
+	cfg = fieldline.Config{
+		Step:      math.Float64frombits(le.Uint64(p[41:])),
+		MaxSteps:  int(int64(le.Uint64(p[49:]))),
+		MinMag:    math.Float64frombits(le.Uint64(p[57:])),
+		CloseLoop: p[65] != 0,
+	}
+	sign = math.Float64frombits(le.Uint64(p[66:]))
+	workers = int(int64(le.Uint64(p[74:])))
+	seeds = make([]vec.V3, n)
+	for i := range seeds {
+		off := traceReqFixed - 4 + 24*i
+		seeds[i] = vec.New(
+			math.Float64frombits(le.Uint64(p[off:])),
+			math.Float64frombits(le.Uint64(p[off+8:])),
+			math.Float64frombits(le.Uint64(p[off+16:])),
+		)
+	}
+	return spec, seeds, cfg, sign, workers, nil
+}
+
+// The trace reply blob ("ACFR") carries the integrated lines in full
+// double precision, so a remote trace is bit-identical to the local
+// TraceAll (lineio's single-precision file format is a storage trade
+// this wire path does not make):
+//
+//	magic "ACFR" | u32 version | u32 count |
+//	count × (u32 npts | u8 closed | npts × (7 f64: point, tangent,
+//	strength)) | u32 crc32 (all preceding bytes)
+
+var magicFieldReply = [4]byte{'A', 'C', 'F', 'R'}
+
+// appendTraceReply appends the trace kernel's reply blob.
+func appendTraceReply(dst []byte, lines []*fieldline.Line) []byte {
+	start := len(dst)
+	le := binary.LittleEndian
+	dst = append(dst, magicFieldReply[:]...)
+	dst = le.AppendUint32(dst, fieldSeedsVersion)
+	dst = le.AppendUint32(dst, uint32(len(lines)))
+	for _, l := range lines {
+		dst = le.AppendUint32(dst, uint32(len(l.Points)))
+		if l.Closed {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		for i, pt := range l.Points {
+			for _, f := range [7]float64{pt.X, pt.Y, pt.Z,
+				l.Tangents[i].X, l.Tangents[i].Y, l.Tangents[i].Z,
+				l.Strengths[i]} {
+				dst = le.AppendUint64(dst, math.Float64bits(f))
+			}
+		}
+	}
+	return le.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeTraceReply parses a trace reply blob, verifying the checksum.
+func decodeTraceReply(p []byte) ([]*fieldline.Line, error) {
+	le := binary.LittleEndian
+	if len(p) < 4+4+4+4 {
+		return nil, fmt.Errorf("remote: trace reply truncated (%d bytes)", len(p))
+	}
+	if [4]byte(p[:4]) != magicFieldReply {
+		return nil, fmt.Errorf("remote: bad trace reply magic %q", p[:4])
+	}
+	if v := le.Uint32(p[4:]); v != fieldSeedsVersion {
+		return nil, fmt.Errorf("remote: unsupported trace reply version %d", v)
+	}
+	crcOff := len(p) - 4
+	if got, want := le.Uint32(p[crcOff:]), crc32.ChecksumIEEE(p[:crcOff]); got != want {
+		return nil, fmt.Errorf("remote: trace reply checksum mismatch (wire %08x, computed %08x)", got, want)
+	}
+	count := int(le.Uint32(p[8:]))
+	body := p[12:crcOff]
+	lines := make([]*fieldline.Line, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 5 {
+			return nil, fmt.Errorf("remote: trace reply truncated at line %d header", i)
+		}
+		npts := int(le.Uint32(body))
+		closed := body[4] != 0
+		body = body[5:]
+		if npts < 0 || len(body) < 56*npts {
+			return nil, fmt.Errorf("remote: trace reply truncated inside line %d (%d points)", i, npts)
+		}
+		l := &fieldline.Line{
+			Closed:    closed,
+			Points:    make([]vec.V3, npts),
+			Tangents:  make([]vec.V3, npts),
+			Strengths: make([]float64, npts),
+		}
+		for j := 0; j < npts; j++ {
+			off := 56 * j
+			l.Points[j] = vec.New(
+				math.Float64frombits(le.Uint64(body[off:])),
+				math.Float64frombits(le.Uint64(body[off+8:])),
+				math.Float64frombits(le.Uint64(body[off+16:])))
+			l.Tangents[j] = vec.New(
+				math.Float64frombits(le.Uint64(body[off+24:])),
+				math.Float64frombits(le.Uint64(body[off+32:])),
+				math.Float64frombits(le.Uint64(body[off+40:])))
+			l.Strengths[j] = math.Float64frombits(le.Uint64(body[off+48:]))
+		}
+		body = body[56*npts:]
+		lines = append(lines, l)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("remote: %d trailing bytes after trace reply lines", len(body))
+	}
+	return lines, nil
 }
 
 // decodeExtractRequest parses an extract request blob, verifying the

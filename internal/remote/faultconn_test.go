@@ -1,0 +1,177 @@
+package remote
+
+// Fault-injection harness for the failover tests: faultConn wraps a
+// real connection and fires one configured fault per direction at an
+// exact byte offset, so every test failure mode — corrupted framing,
+// severed transport, hung worker, silently swallowed bytes — triggers
+// at a deterministic point in the protocol exchange instead of
+// depending on timing. The client handshake is 8 bytes out and 12
+// bytes in, so offsets past those land inside request/response
+// traffic.
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+type faultKind int
+
+const (
+	faultNone    faultKind = iota
+	faultCorrupt           // flip a bit in the byte at the offset
+	faultReset             // sever the connection at the offset
+	faultStall             // stop moving bytes at the offset until the conn closes
+	faultDrop              // silently discard everything from the offset on
+)
+
+// faultPoint configures one direction: kind fires once the direction
+// has moved offset bytes.
+type faultPoint struct {
+	kind   faultKind
+	offset int64
+}
+
+var errConnFault = errors.New("faultconn: injected fault")
+
+type faultDir struct {
+	mu      sync.Mutex
+	fp      faultPoint
+	seen    int64
+	tripped bool
+}
+
+// split locates the fault inside an n-byte transfer: it returns how
+// many bytes pass untouched and whether the fault fires in this call.
+func (d *faultDir) split(n int) (clean int, fire bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fp.kind == faultNone || d.tripped && d.fp.kind == faultCorrupt {
+		d.seen += int64(n)
+		return n, false
+	}
+	if d.tripped { // stall/drop/reset stay in effect
+		return 0, true
+	}
+	idx := d.fp.offset - d.seen
+	if idx >= int64(n) {
+		d.seen += int64(n)
+		return n, false
+	}
+	d.tripped = true
+	d.seen += int64(n)
+	if idx < 0 {
+		idx = 0
+	}
+	return int(idx), true
+}
+
+type faultConn struct {
+	net.Conn
+	rd, wr    faultDir
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func newFaultConn(conn net.Conn, read, write faultPoint) *faultConn {
+	return &faultConn{
+		Conn:   conn,
+		rd:     faultDir{fp: read},
+		wr:     faultDir{fp: write},
+		closed: make(chan struct{}),
+	}
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *faultConn) stall() error {
+	<-c.closed
+	return errConnFault
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n == 0 {
+		return n, err
+	}
+	clean, fire := c.rd.split(n)
+	if !fire {
+		return n, err
+	}
+	switch c.rd.fp.kind {
+	case faultCorrupt:
+		p[clean] ^= 0x01
+		return n, err
+	case faultReset:
+		c.Close()
+		if clean > 0 {
+			return clean, err
+		}
+		return 0, errConnFault
+	case faultStall:
+		if clean > 0 {
+			return clean, err
+		}
+		return 0, c.stall()
+	default: // faultDrop: deliver the clean prefix, swallow the rest forever
+		if clean > 0 {
+			return clean, err
+		}
+		for {
+			if _, rerr := c.Conn.Read(p); rerr != nil {
+				return 0, rerr
+			}
+			// keep draining; the reader never sees another byte
+		}
+	}
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	clean, fire := c.wr.split(len(p))
+	if !fire {
+		return c.Conn.Write(p)
+	}
+	switch c.wr.fp.kind {
+	case faultCorrupt:
+		dup := make([]byte, len(p))
+		copy(dup, p)
+		dup[clean] ^= 0x01
+		return c.Conn.Write(dup)
+	case faultReset:
+		if clean > 0 {
+			c.Conn.Write(p[:clean])
+		}
+		c.Close()
+		return clean, errConnFault
+	case faultStall:
+		if clean > 0 {
+			if _, err := c.Conn.Write(p[:clean]); err != nil {
+				return 0, err
+			}
+		}
+		return clean, c.stall()
+	default: // faultDrop: pretend everything made it out
+		if clean > 0 {
+			c.Conn.Write(p[:clean])
+		}
+		return len(p), nil
+	}
+}
+
+// faultyDial returns a FleetOptions.Dial that injects the given
+// faults on connections to faultAddr and dials everything else clean.
+func faultyDial(faultAddr string, read, write faultPoint) func(string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if addr == faultAddr {
+			return newFaultConn(conn, read, write), nil
+		}
+		return conn, nil
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"repro/internal/vec"
 )
 
-// Wire protocol v3. Every connection starts with a handshake:
+// Wire protocol v4. Every connection starts with a handshake:
 //
 //	client → server: magic "ACVP" | u32 version
 //	server → client: magic "ACVP" | u32 version | u32 flags
@@ -54,11 +54,26 @@ import (
 //     writes the same buffer to every subscriber (opNotifyFrame)
 //     instead of pushing a count that every client answers with a
 //     full Get.
+//
+// v4 over v3 is the fleet revision — what a dispatcher needs to run a
+// stage across many workers and survive losing some of them:
+//
+//   - Kernels: a worker answers with the list of stage kernels it
+//     hosts, so a Fleet verifies each member's provisioning at connect
+//     (and at every rejoin probe) instead of discovering a missing
+//     kernel one failed frame at a time. Stores answer it like any
+//     verb they do not speak: typed ErrCodeUnknownVerb, connection
+//     kept.
+//   - ErrCodeUnavailable: a draining worker (graceful shutdown)
+//     refuses new Compute requests with this code before starting
+//     them. It is an explicit "retry elsewhere" — the fleet classifies
+//     it transient and re-dispatches, unlike application errors which
+//     would fail identically on every member.
 
 var protoMagic = [4]byte{'A', 'C', 'V', 'P'}
 
 const (
-	protoVersion = 3
+	protoVersion = 4
 
 	// maxBody bounds a message body so a corrupt or hostile length
 	// prefix cannot cause an arbitrary allocation.
@@ -77,6 +92,7 @@ const (
 	opRender    byte = 0x04
 	opCompute   byte = 0x05
 	opGetDelta  byte = 0x06
+	opKernels   byte = 0x07
 
 	opListOK      byte = 0x81
 	opGetOK       byte = 0x82
@@ -84,6 +100,7 @@ const (
 	opRenderOK    byte = 0x84
 	opComputeOK   byte = 0x85
 	opGetDeltaOK  byte = 0x86
+	opKernelsOK   byte = 0x87
 
 	opNotify      byte = 0x90
 	opNotifyFrame byte = 0x91
@@ -117,6 +134,11 @@ const (
 	// ErrCodeUnknownKernel: a Compute named a kernel the worker has not
 	// registered.
 	ErrCodeUnknownKernel ErrorCode = 3
+	// ErrCodeUnavailable: the worker is draining toward shutdown and
+	// did not start the request. Transient by definition — the same
+	// request is welcome on any other member of the fleet, so
+	// IsTransient classifies it retryable.
+	ErrCodeUnavailable ErrorCode = 4
 )
 
 // WireError is a typed protocol error: what a service sends in an
@@ -466,6 +488,51 @@ func decodeGetDelta(p []byte) (frame, base int, err error) {
 	}
 	le := binary.LittleEndian
 	return int(int32(le.Uint32(p[0:]))), int(int32(le.Uint32(p[4:]))), nil
+}
+
+// encodeKernelList builds a Kernels response payload:
+// u16 count | count × (u8 len | name). Kernel names are already
+// bounded to maxKernelName by Register/appendComputeHeader.
+func encodeKernelList(names []string) ([]byte, error) {
+	if len(names) > math.MaxUint16 {
+		return nil, fmt.Errorf("remote: %d kernels exceed the advertisement limit", len(names))
+	}
+	out := make([]byte, 2, 2+16*len(names))
+	binary.LittleEndian.PutUint16(out, uint16(len(names)))
+	for _, name := range names {
+		if len(name) == 0 || len(name) > maxKernelName {
+			return nil, fmt.Errorf("remote: kernel name %q length out of range [1, %d]", name, maxKernelName)
+		}
+		out = append(out, byte(len(name)))
+		out = append(out, name...)
+	}
+	return out, nil
+}
+
+// decodeKernelList parses a Kernels response payload. Malformed input
+// returns an error and never panics.
+func decodeKernelList(p []byte) ([]string, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("remote: kernel list payload %d bytes, want >= 2", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("remote: kernel list truncated at entry %d", i)
+		}
+		l := int(p[0])
+		if l == 0 || len(p) < 1+l {
+			return nil, fmt.Errorf("remote: kernel list entry %d truncated (%d of %d name bytes)", i, len(p)-1, l)
+		}
+		names = append(names, string(p[1:1+l]))
+		p = p[1+l:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("remote: %d trailing bytes after kernel list", len(p))
+	}
+	return names, nil
 }
 
 // TransferEstimate returns how long a payload of the given size takes

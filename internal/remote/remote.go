@@ -16,7 +16,7 @@
 //
 // A Service serves any FrameStore to concurrent clients over a
 // versioned, length-prefixed, CRC-framed, request-ID-multiplexed
-// protocol (protocol.go, v3) with five store verbs:
+// protocol (protocol.go, v4) with five store verbs:
 //
 //   - List: frame range and liveness
 //   - Get: full-frame transfer (fetch-and-render-locally); the
@@ -48,14 +48,28 @@
 // what makes fan-out to large subscriber counts scale (see
 // BenchmarkFanOut and ServiceStats).
 //
-// The protocol's sixth verb, Compute, belongs to the other service
-// type: a Worker hosts named stage kernels (starting with hybrid
-// extraction: projected point sets in, hybrid representations out,
-// both in pario-idiom CRC-framed encodings), so the pipeline engine
-// can place a stage's per-frame work on another process or host —
-// core.StreamOptions.ExtractAddr wires it in, cmd/vizworker hosts it.
-// A service answers verbs it does not speak with a typed
-// ErrCodeUnknownVerb error and keeps the connection.
+// The Compute and Kernels verbs belong to the other service type: a
+// Worker hosts named stage kernels (hybrid extraction and field-line
+// tracing are built in: requests and replies travel in pario-idiom
+// CRC-framed encodings), so the pipeline engine can place a stage's
+// per-frame work on another process or host —
+// core.StreamOptions.ExtractAddr/ExtractAddrs wire it in,
+// cmd/vizworker hosts it. Kernels (v4) is the provisioning check: a
+// worker advertises its hosted kernel set, and a Fleet refuses to
+// admit a member that does not host its kernel. A service answers
+// verbs it does not speak with a typed ErrCodeUnknownVerb error and
+// keeps the connection.
+//
+// A Fleet stripes one kernel's requests across N workers with
+// per-member in-flight windows and the robustness machinery the
+// cross-site setting needs: per-attempt deadlines, exponential
+// backoff with jitter, bounded re-dispatch of lost frames to
+// surviving members (bit-identical — the stage reorderer keeps output
+// order), consecutive-failure ejection with periodic probe-and-rejoin,
+// and graceful degradation — a fleet stream fails only when no member
+// can serve a frame within the retry policy. Workers drain on
+// shutdown (v4 ErrCodeUnavailable answers are retried elsewhere), so
+// deliberately stopping a worker never truncates a stream.
 //
 // Because responses are matched to requests by ID, one connection
 // carries many requests in flight: the viewer's prefetcher overlaps

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -37,6 +38,13 @@ func newServer(addr string, handle func(net.Conn)) (*server, error) {
 // Addr returns the listening address.
 func (s *server) Addr() string { return s.ln.Addr().String() }
 
+// StopAccepting closes the listening socket without touching live
+// connections — the first half of a graceful drain. Close remains
+// responsible for severing connections and joining handlers.
+func (s *server) StopAccepting() {
+	s.ln.Close()
+}
+
 // Close stops accepting, severs every connection, and waits for all
 // handlers to unwind.
 func (s *server) Close() error {
@@ -48,6 +56,11 @@ func (s *server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	if errors.Is(err, net.ErrClosed) {
+		// StopAccepting already closed the listener; that is not a
+		// failure of this Close.
+		return nil
+	}
 	return err
 }
 

@@ -5,8 +5,11 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/fieldline"
 	"repro/internal/hybrid"
 	"repro/internal/octree"
 	"repro/internal/pipeline"
@@ -26,10 +29,19 @@ type Kernel func(ctx context.Context, req []byte) ([]byte, error)
 // pipeline's Map stage can run on this process while the stream's
 // orchestration stays with the requester — the paper's split of
 // heavy per-frame compute away from the producing machine. NewWorker
-// registers the built-in hybrid-extraction kernel; Register adds more.
-// cmd/vizworker is the CLI host.
+// registers the built-in kernels (hybrid extraction, field-line
+// tracing); Register adds more. Workers advertise their kernel set
+// over the v4 Kernels verb, which is how a Fleet verifies a member's
+// provisioning before dispatching frames to it. cmd/vizworker is the
+// CLI host.
 type Worker struct {
 	srv *server
+
+	// draining refuses new Computes (ErrCodeUnavailable) while
+	// Shutdown waits for the in-flight ones — the graceful half of
+	// going away, vs Close's immediate severing.
+	draining atomic.Bool
+	inflight sync.WaitGroup
 
 	mu      sync.RWMutex
 	kernels map[string]Kernel
@@ -40,6 +52,7 @@ type Worker struct {
 func NewWorker(addr string) (*Worker, error) {
 	w := &Worker{kernels: make(map[string]Kernel)}
 	w.Register(KernelHybridExtract, hybridExtractKernel())
+	w.Register(KernelFieldlineTrace, fieldlineTraceKernel())
 	srv, err := newServer(addr, w.handle)
 	if err != nil {
 		return nil, err
@@ -56,7 +69,8 @@ func (w *Worker) Register(name string, k Kernel) {
 	w.mu.Unlock()
 }
 
-// Kernels lists the registered kernel names.
+// Kernels lists the registered kernel names, sorted — the set the
+// worker advertises over the Kernels verb.
 func (w *Worker) Kernels() []string {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
@@ -64,6 +78,7 @@ func (w *Worker) Kernels() []string {
 	for name := range w.kernels {
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -73,6 +88,29 @@ func (w *Worker) Addr() string { return w.srv.Addr() }
 // Close stops accepting, severs every connection (cancelling in-flight
 // kernels' contexts), and waits for all handlers to unwind.
 func (w *Worker) Close() error { return w.srv.Close() }
+
+// Shutdown drains the worker gracefully: stop accepting connections,
+// refuse new Compute requests with ErrCodeUnavailable (so a fleet
+// re-dispatches them to surviving members instead of losing frames),
+// let the in-flight kernels finish and their replies reach the wire,
+// then sever what remains. ctx bounds the wait — when it expires the
+// remaining kernels are cut off Close-style. This is what
+// cmd/vizworker runs on SIGINT/SIGTERM, so killing a worker
+// mid-compute hands its frames back rather than truncating them.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	w.draining.Store(true)
+	w.srv.StopAccepting()
+	done := make(chan struct{})
+	go func() {
+		w.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	return w.srv.Close()
+}
 
 // handle runs one connection: handshake, then a read loop spawning a
 // goroutine per Compute so a slow kernel doesn't stall the frames
@@ -103,11 +141,35 @@ func (w *Worker) handle(conn net.Conn) {
 		}
 		switch msg.op {
 		case opCompute:
+			if w.draining.Load() {
+				msg.recycle()
+				if cw.sendErr(msg.reqID, &WireError{
+					Code: ErrCodeUnavailable,
+					Msg:  "remote: worker is draining",
+				}) != nil {
+					return
+				}
+				continue
+			}
 			reqs.Add(1)
+			w.inflight.Add(1)
 			go func(m message) {
 				defer reqs.Done()
+				defer w.inflight.Done()
 				w.serveCompute(ctx, cw, m)
 			}(msg)
+		case opKernels:
+			msg.recycle()
+			payload, err := encodeKernelList(w.Kernels())
+			if err != nil {
+				if cw.sendErr(msg.reqID, err) != nil {
+					return
+				}
+				continue
+			}
+			if cw.send(msg.reqID, opKernelsOK, payload) != nil {
+				return
+			}
 		default:
 			if cw.sendErr(msg.reqID, &WireError{
 				Code: ErrCodeUnknownVerb,
@@ -187,5 +249,32 @@ func hybridExtractKernel() Kernel {
 			return nil, err
 		}
 		return rep.AppendBinary(getBytes(0)), nil
+	}
+}
+
+// fieldlineTraceKernel hosts batch field-line integration: a named
+// analytic field plus a seed set come in, the worker runs the exact
+// local fieldline.TraceAll, and the traced lines go back in full
+// double precision — so a remote trace is bit-identical to a local
+// one. This is the second built-in kernel, giving fleets a
+// heterogeneous kernel set to advertise and verify against.
+func fieldlineTraceKernel() Kernel {
+	return func(ctx context.Context, req []byte) ([]byte, error) {
+		spec, seeds, cfg, sign, workers, err := decodeTraceRequest(req)
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()}
+		}
+		f, err := spec.Field()
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lines, err := fieldline.TraceAll(f, seeds, cfg, sign, workers)
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()}
+		}
+		return appendTraceReply(getBytes(0), lines), nil
 	}
 }

@@ -8,10 +8,12 @@
 // Usage:
 //
 //	vizclient -addr HOST:9920 -list
+//	vizclient -addr HOST:9920 -stats
 //	vizclient -addr HOST:9920 -fetch 3 -out frame3.png
 //	vizclient -addr HOST:9920 -render 3 -quality preview -out frame3.png
 //	vizclient -addr HOST:9920 -follow -out live.png
 //	vizclient -addr HOST:9920 -follow -delta -out live.png
+//	vizclient -addr HOST:9920 -follow -reconnect -out live.png
 //
 // -bw models the wide-area link in bytes/s (0 = unthrottled), printing
 // the transfer economics the hybrid representation is designed around.
@@ -21,6 +23,13 @@
 // mode from server renders to local renders over XOR-delta frame
 // fetches: after the first full frame, each update ships only what
 // changed.
+//
+// -reconnect wraps the session in a remote.ReconnectClient: a dropped
+// connection (or a retryably-refusing overloaded server) is redialed
+// with backoff instead of killing the command, and follow mode rides
+// the resumed stream — ordered, gapless, bit-identical across
+// reconnects. -stats pretty-prints the server's v5 Stats report:
+// service counters plus the per-session queue/drop/degrade table.
 package main
 
 import (
@@ -32,26 +41,39 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hybrid"
 	"repro/internal/remote"
 	"repro/internal/render"
 	"repro/internal/vec"
 )
 
+// session is the verb surface shared by remote.Client and
+// remote.ReconnectClient, so every mode below works over either.
+type session interface {
+	List() (remote.ListInfo, error)
+	FetchFrame(i int) (*hybrid.Representation, int64, time.Duration, error)
+	Render(p remote.RenderParams) (*render.Framebuffer, int64, time.Duration, error)
+	Stats() (remote.StatsReport, error)
+	Close() error
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vizclient: ")
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9920", "service address")
-		list    = flag.Bool("list", false, "list the server's frames")
-		fetch   = flag.Int("fetch", -1, "fetch this frame and render locally")
-		rend    = flag.Int("render", -1, "render this frame server-side")
-		follow  = flag.Bool("follow", false, "subscribe and server-render every new frame")
-		out     = flag.String("out", "frame.png", "output PNG (follow mode: _NNNN inserted)")
-		size    = flag.Int("size", 512, "image size in pixels (square)")
-		view    = flag.String("view", "0.4,0.3,1", "view direction dx,dy,dz")
-		bw      = flag.Int64("bw", 0, "modeled link bandwidth in bytes/s (0 = unthrottled)")
-		quality = flag.String("quality", "lossless", "server render tier: lossless or preview")
-		delta   = flag.Bool("delta", false, "follow mode: fetch frames as XOR-deltas and render locally")
+		addr      = flag.String("addr", "127.0.0.1:9920", "service address")
+		list      = flag.Bool("list", false, "list the server's frames")
+		fetch     = flag.Int("fetch", -1, "fetch this frame and render locally")
+		rend      = flag.Int("render", -1, "render this frame server-side")
+		follow    = flag.Bool("follow", false, "subscribe and server-render every new frame")
+		out       = flag.String("out", "frame.png", "output PNG (follow mode: _NNNN inserted)")
+		size      = flag.Int("size", 512, "image size in pixels (square)")
+		view      = flag.String("view", "0.4,0.3,1", "view direction dx,dy,dz")
+		bw        = flag.Int64("bw", 0, "modeled link bandwidth in bytes/s (0 = unthrottled)")
+		quality   = flag.String("quality", "lossless", "server render tier: lossless or preview")
+		delta     = flag.Bool("delta", false, "follow mode: fetch frames as XOR-deltas and render locally")
+		reconnect = flag.Bool("reconnect", false, "redial with backoff on connection loss (resumable follow)")
+		stats     = flag.Bool("stats", false, "print the server's stats report and session table")
 	)
 	flag.Parse()
 
@@ -63,14 +85,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cli, err := remote.Dial(*addr)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		cli session
+		raw *remote.Client          // plain session, nil under -reconnect
+		rc  *remote.ReconnectClient // resilient session, nil otherwise
+	)
+	if *reconnect {
+		rc, err = remote.DialReconnect(*addr, remote.ReconnectOptions{Bandwidth: *bw})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli = rc
+	} else {
+		raw, err = remote.Dial(*addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw.SetBandwidth(*bw)
+		cli = raw
 	}
 	defer cli.Close()
-	cli.SetBandwidth(*bw)
 
 	switch {
+	case *stats:
+		r, err := cli.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(*addr, r)
+
 	case *list:
 		li, err := cli.List()
 		if err != nil {
@@ -110,8 +153,42 @@ func main() {
 			*rend, float64(wire)/1e6, took)
 		writePNG(fb.WritePNG, *out)
 
+	case *follow && *reconnect:
+		// Resilient follow: the resumed stream delivers every frame in
+		// order across reconnects, each with its wire payload — render
+		// locally as the frames arrive.
+		sub, err := rc.SubscribeResume(-1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sub.Close()
+		rendered := 0
+		for f := range sub.Frames {
+			rep, err := f.Decode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			tf, err := core.DefaultTF(rep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fb, _, _, err := core.RenderFrame(rep, tf, *size, *size, dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dst := strings.TrimSuffix(*out, ".png") + fmt.Sprintf("_%04d.png", f.Index)
+			writePNG(fb.WritePNG, dst)
+			fmt.Printf("frame %d: %.3f MB payload -> %s\n", f.Index, float64(len(f.Payload))/1e6, dst)
+			rendered++
+		}
+		if err := sub.Err(); err != nil {
+			log.Printf("feed failed: %v", err)
+		}
+		fmt.Printf("feed closed after %d frames (%d reconnects, %d skipped)\n",
+			rendered, rc.Redials(), sub.Skipped())
+
 	case *follow:
-		sub, err := cli.Subscribe()
+		sub, err := raw.Subscribe()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,7 +207,7 @@ func main() {
 			if *delta {
 				// Delta mode: pull the frame (as a residual once a base
 				// is held) and render locally.
-				rep, enc, w, d, err := cli.FetchFrameDelta(idx, baseIdx, baseEnc)
+				rep, enc, w, d, err := raw.FetchFrameDelta(idx, baseIdx, baseEnc)
 				if err != nil {
 					log.Printf("frame %d: %v", idx, err)
 					continue
@@ -161,7 +238,39 @@ func main() {
 		fmt.Printf("feed closed after %d frames\n", rendered)
 
 	default:
-		log.Fatal("one of -list, -fetch, -render or -follow required")
+		log.Fatal("one of -list, -stats, -fetch, -render or -follow required")
+	}
+}
+
+// printStats pretty-prints a v5 stats report: the service counters,
+// then one line per live session.
+func printStats(addr string, r remote.StatsReport) {
+	s := r.Stats
+	fmt.Printf("%s:\n", addr)
+	fmt.Printf("  frames   %d encoded, %d cache hits\n", s.FrameEncodes, s.FrameHits)
+	fmt.Printf("  renders  %d run, %d cache hits, %d refused\n", s.Renders, s.RenderHits, s.RendersRefused)
+	fmt.Printf("  deltas   %d encoded, %d cache hits\n", s.DeltaEncodes, s.DeltaHits)
+	fmt.Printf("  notifies %d inline, %d count-only\n", s.NotifyFrames, s.NotifyCounts)
+	fmt.Printf("  pings    %d\n", s.Pings)
+	fmt.Printf("  overload %d sessions refused, %d pushes dropped, %d degraded, %d evicted\n",
+		s.SessionsRefused, s.PushesDropped, s.PushesDegraded, s.SessionsEvicted)
+	fmt.Printf("sessions (%d):\n", len(r.Sessions))
+	for _, sess := range r.Sessions {
+		state := "idle"
+		switch {
+		case sess.Refused:
+			state = "refused"
+		case sess.Subscribed && sess.Inline:
+			state = "subscribed (inline)"
+		case sess.Subscribed:
+			state = "subscribed"
+		}
+		line := fmt.Sprintf("  #%d %s  %s", sess.ID, sess.Remote, state)
+		if sess.Subscribed {
+			line += fmt.Sprintf("  queue %d/%d  sent %d (last count %d)  dropped %d  degraded %d",
+				sess.QueueDepth, sess.QueueCap, sess.Sent, sess.LastSent, sess.Dropped, sess.Degraded)
+		}
+		fmt.Println(line)
 	}
 }
 

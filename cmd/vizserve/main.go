@@ -14,6 +14,13 @@
 //
 //	vizserve -addr 127.0.0.1:9920 -live -frames 50 -particles 100000
 //	vizserve -dir ./frames
+//	vizserve -live -max-sessions 64 -max-renders 4 -slow evict
+//
+// The v5 overload flags bound what a viewer crowd can do to the
+// service: -max-sessions and -max-renders refuse excess work with a
+// retryable error (reconnecting clients back off and retry), -queue
+// bounds each subscriber's send queue, and -slow picks what happens
+// to a subscriber that can't keep up (skip | degrade | evict).
 package main
 
 import (
@@ -41,8 +48,23 @@ func main() {
 		periods   = flag.Int("periods", 4, "lattice periods between frames")
 		volres    = flag.Int("volres", 32, "hybrid volume resolution per axis")
 		ring      = flag.Int("ring", 8, "live mode: frames retained in the latest-wins ring")
+		maxSess   = flag.Int("max-sessions", 0, "max concurrent client sessions (0 = unlimited)")
+		maxRend   = flag.Int("max-renders", 0, "max concurrent server-side renders (0 = unlimited)")
+		queue     = flag.Int("queue", 0, "per-subscriber send queue bound (0 = default)")
+		slow      = flag.String("slow", "skip", "slow-subscriber policy: skip, degrade or evict")
 	)
 	flag.Parse()
+
+	policy, err := parseSlow(*slow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := remote.ServiceOptions{
+		MaxSessions: *maxSess,
+		MaxRenders:  *maxRend,
+		SendQueue:   *queue,
+		Slow:        policy,
+	}
 
 	switch {
 	case *dir != "":
@@ -50,14 +72,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		serve(*addr, store, fmt.Sprintf("%d on-disk frames from %s", store.NumFrames(), *dir))
+		serve(*addr, store, opts, fmt.Sprintf("%d on-disk frames from %s", store.NumFrames(), *dir))
 
 	case *live:
 		lr, err := remote.NewLiveRing(*ring)
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv, err := remote.NewService(*addr, lr)
+		srv, err := remote.NewServiceWith(*addr, lr, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,18 +125,30 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		serve(*addr, store, fmt.Sprintf("%d precomputed frames", len(reps)))
+		serve(*addr, store, opts, fmt.Sprintf("%d precomputed frames", len(reps)))
 	}
 }
 
-func serve(addr string, store remote.FrameStore, what string) {
-	srv, err := remote.NewService(addr, store)
+func serve(addr string, store remote.FrameStore, opts remote.ServiceOptions, what string) {
+	srv, err := remote.NewServiceWith(addr, store, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("vizserve: serving %s on %s — Ctrl-C to stop\n", what, srv.Addr())
 	waitInterrupt()
 	srv.Close()
+}
+
+func parseSlow(s string) (remote.SlowPolicy, error) {
+	switch s {
+	case "skip":
+		return remote.SlowSkip, nil
+	case "degrade":
+		return remote.SlowDegrade, nil
+	case "evict":
+		return remote.SlowEvict, nil
+	}
+	return 0, fmt.Errorf("slow policy %q must be skip, degrade or evict", s)
 }
 
 func waitInterrupt() {

@@ -18,6 +18,12 @@
 // server's encode-once render cache, so the second subscriber's tier
 // is the only extra work the server does for it.
 //
+// A fourth seat demonstrates protocol v5 resilience: a viewer on a
+// remote.ReconnectClient whose connection is deliberately killed
+// mid-stream. The resumed subscription redials, re-subscribes, and
+// catches up over GetDelta — the viewer ends the run with every frame,
+// in order, with no duplicates, as if the link had never dropped.
+//
 //	go run ./examples/remoteviz
 package main
 
@@ -25,6 +31,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/pario"
@@ -84,6 +92,56 @@ func main() {
 	}
 	defer preview.Close()
 	preview.SetBandwidth(linkBps)
+
+	// A resilient viewer (protocol v5): its dialer remembers the live
+	// connection so the demo can kill it mid-stream, and the resumed
+	// subscription survives the loss invisibly.
+	var (
+		connMu   sync.Mutex
+		liveConn net.Conn
+	)
+	rcli, err := remote.DialReconnect(srv.Addr(), remote.ReconnectOptions{
+		Dial: func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err == nil {
+				connMu.Lock()
+				liveConn = c
+				connMu.Unlock()
+			}
+			return c, err
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rcli.Close()
+	rsub, err := rcli.SubscribeResume(-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rsub.Close()
+	resumedIdxs := make(chan []int, 1)
+	go func() {
+		killed := false
+		var idxs []int
+		for f := range rsub.Frames {
+			idxs = append(idxs, f.Index)
+			if !killed {
+				// Sever the viewer's link right after its first frame —
+				// the reconnect layer redials and resumes at frame
+				// f.Index+1, no gap, no duplicate.
+				killed = true
+				connMu.Lock()
+				liveConn.Close()
+				connMu.Unlock()
+				fmt.Printf("viewer: link killed after frame %d — reconnecting\n", f.Index)
+			}
+			if f.Index == nFrames-1 {
+				break
+			}
+		}
+		resumedIdxs <- idxs
+	}()
 
 	// Surface a mid-run pipeline failure instead of blocking on a feed
 	// that will never deliver the final frame.
@@ -172,5 +230,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\nconsumed %d live frames; wrote remoteviz_{local,remote,preview}*.png\n", seen)
+	idxs := <-resumedIdxs
+	fmt.Printf("\nresilient viewer: frames %v over %d redial(s), %d skipped — seamless resume\n",
+		idxs, rcli.Redials(), rsub.Skipped())
+	fmt.Printf("consumed %d live frames; wrote remoteviz_{local,remote,preview}*.png\n", seen)
 }

@@ -170,8 +170,11 @@ type StreamOptions struct {
 	// Sink, when non-nil, appends a publish stage after extraction:
 	// every hybrid frame is pushed into the sink in frame order (the
 	// in-situ mode — publish into a remote.LiveRing served by a
-	// remote.Service and clients watch the run live). Incompatible with
-	// SkipExtract.
+	// remote.Service and clients watch the run live). Publish must not
+	// block on consumers: the service's per-subscriber send queues (and
+	// the ring's latest-wins eviction) absorb slow viewers, so a stalled
+	// remote client never backpressures this pipeline. Incompatible
+	// with SkipExtract.
 	Sink FrameSink
 
 	// ExtractAddr, when non-empty, places the heavy per-frame compute —

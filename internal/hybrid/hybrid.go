@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/octree"
 	"repro/internal/vec"
@@ -248,17 +249,88 @@ func Read(rd io.Reader) (*Representation, error) {
 	return r, nil
 }
 
-// WriteFile writes the representation to the named file.
+// WriteFile writes the representation to the named file, atomically:
+// the bytes go to a temp file in the same directory, which is renamed
+// into place only after a successful close. A writer killed mid-frame
+// leaves a stray temp file, never a partial .achy at the final path —
+// the crash-safety a DirStore shared between a producing pipeline and
+// a serving process needs (the reader additionally skips any partial
+// leftovers; see remote.NewDirStore).
 func (r *Representation) WriteFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
 	if err != nil {
 		return fmt.Errorf("hybrid: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
 	if err := r.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hybrid: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hybrid: %w", err)
+	}
+	return nil
+}
+
+// FileComplete reports whether the named file is a structurally
+// complete hybrid frame: correct magic and version, and a byte length
+// exactly accounting for the volume, point arrays and trailing CRC its
+// header promises. It costs two small reads — no decode, no CRC pass —
+// which is what lets a DirStore scan of thousands of frames skip the
+// partial leftovers of a killed (pre-atomic-rename) writer without
+// reading them.
+func FileComplete(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	size := st.Size()
+	const header = 4 + 8 + 8*8 + 3*8 // magic, version, bounds+thresholds, dims
+	var head [header]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return false
+	}
+	if [4]byte(head[:4]) != magicHybrid {
+		return false
+	}
+	le := binary.LittleEndian
+	if le.Uint64(head[4:12]) != hybridVersion {
+		return false
+	}
+	nx := int64(le.Uint64(head[76:84]))
+	ny := int64(le.Uint64(head[84:92]))
+	nz := int64(le.Uint64(head[92:100]))
+	if nx < 0 || ny < 0 || nz < 0 || nx*ny*nz < 0 {
+		return false
+	}
+	volBytes := nx * ny * nz * 4
+	if volBytes < 0 || header+volBytes+8 > size {
+		return false
+	}
+	var cnt [8]byte
+	if _, err := f.ReadAt(cnt[:], header+volBytes); err != nil {
+		return false
+	}
+	n := int64(le.Uint64(cnt[:]))
+	if n < 0 || n > size { // bound before multiplying: n is untrusted
+		return false
+	}
+	return size == header+volBytes+8+n*24+n*4+n*8+4
 }
 
 // ReadFile reads a representation from the named file.

@@ -359,3 +359,37 @@ func BenchmarkFleetExtract(b *testing.B) {
 		run("throttled", throttle)
 	}
 }
+
+// BenchmarkSlowSubscriber measures what a stalled viewer costs the
+// publisher: per-publish latency into a live ring with 0, 1 and 8
+// subscribers that stopped reading. The v5 send queues make the three
+// numbers flat — update() only enqueues (and drops on overflow), so a
+// wedged connection parks its own drain goroutine, never the publish
+// path. A regression here means a slow client found a way to block the
+// simulation again.
+func BenchmarkSlowSubscriber(b *testing.B) {
+	rep := testReps(b, 1)[0]
+	for _, stalled := range []int{0, 1, 8} {
+		b.Run(fmt.Sprintf("stalled=%d", stalled), func(b *testing.B) {
+			ring, err := NewLiveRing(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := NewServiceWith("127.0.0.1:0", ring, ServiceOptions{SendQueue: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			for i := 0; i < stalled; i++ {
+				stalledInlineSub(b, srv.Addr())
+			}
+			waitSubscribed(b, srv, stalled)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ring.Publish(i, rep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

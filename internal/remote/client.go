@@ -27,10 +27,13 @@ import (
 type Client struct {
 	conn       net.Conn
 	reqTimeout time.Duration
+	hbInterval time.Duration
+	hbIdle     time.Duration
 	wmu        sync.Mutex
 	bw         *bufio.Writer
 
 	bandwidthBps atomic.Int64
+	lastInbound  atomic.Int64 // unix nanos of the last inbound message
 
 	mu      sync.Mutex
 	pending map[uint64]chan message
@@ -40,10 +43,26 @@ type Client struct {
 	done    chan struct{}
 }
 
+// ErrClientClosed marks a Client whose connection is gone — closed by
+// the caller, lost to the transport, or declared dead by the heartbeat
+// watchdog. Every call made afterwards fails fast with an error
+// wrapping it, so callers (and ReconnectClient) can classify
+// retryable-by-redial transport loss with errors.Is instead of
+// pattern-matching write errors. IsTransient reports true for it: the
+// client object is dead, but a fresh dial may well succeed.
+var ErrClientClosed = errors.New("remote: client closed")
+
 // DefaultRequestTimeout bounds a context-free request round trip when
 // ClientOptions.RequestTimeout is left zero: a hung or wedged server
 // fails the call instead of parking it forever.
 const DefaultRequestTimeout = 30 * time.Second
+
+// DefaultHeartbeatInterval is the v5 heartbeat cadence when
+// ClientOptions.HeartbeatInterval is left zero. It must sit well
+// inside the server's idle timeout (DefaultServiceIdleTimeout), so a
+// purely-listening subscriber — which otherwise never writes — keeps
+// refreshing the server's read deadline.
+const DefaultHeartbeatInterval = 15 * time.Second
 
 // ClientOptions tune a client session.
 type ClientOptions struct {
@@ -56,6 +75,22 @@ type ClientOptions struct {
 	// per timeout). Context-taking calls (Compute, Kernels) are
 	// governed by their context alone.
 	RequestTimeout time.Duration
+
+	// HeartbeatInterval is the cadence of the background Ping loop
+	// (protocol v5). Pings are sent unconditionally — not only when
+	// idle — so the server's read deadline keeps refreshing even for a
+	// subscriber that never issues requests. 0 means
+	// DefaultHeartbeatInterval; negative disables the loop (and with
+	// it IdleTimeout dead-peer detection).
+	HeartbeatInterval time.Duration
+
+	// IdleTimeout is how long the heartbeat watchdog tolerates total
+	// inbound silence (no responses, no notifies, no pongs) before
+	// declaring the peer dead and severing the connection with an
+	// error wrapping ErrClientClosed. 0 means 3× the heartbeat
+	// interval; negative disables the check while keeping pings
+	// flowing.
+	IdleTimeout time.Duration
 }
 
 func (o ClientOptions) requestTimeout() time.Duration {
@@ -66,6 +101,28 @@ func (o ClientOptions) requestTimeout() time.Duration {
 		return 0
 	default:
 		return DefaultRequestTimeout
+	}
+}
+
+func (o ClientOptions) heartbeatInterval() time.Duration {
+	switch {
+	case o.HeartbeatInterval > 0:
+		return o.HeartbeatInterval
+	case o.HeartbeatInterval < 0:
+		return 0
+	default:
+		return DefaultHeartbeatInterval
+	}
+}
+
+func (o ClientOptions) heartbeatIdle() time.Duration {
+	switch {
+	case o.IdleTimeout > 0:
+		return o.IdleTimeout
+	case o.IdleTimeout < 0:
+		return 0
+	default:
+		return 3 * o.heartbeatInterval()
 	}
 }
 
@@ -96,12 +153,18 @@ func NewClientConn(conn net.Conn, opts ClientOptions) (*Client, error) {
 	c := &Client{
 		conn:       conn,
 		reqTimeout: opts.requestTimeout(),
+		hbInterval: opts.heartbeatInterval(),
+		hbIdle:     opts.heartbeatIdle(),
 		bw:         bufio.NewWriterSize(conn, 1<<16),
 		pending:    make(map[uint64]chan message),
 		subs:       make(map[uint64]*Subscription),
 		done:       make(chan struct{}),
 	}
+	c.lastInbound.Store(time.Now().UnixNano())
 	go c.readLoop()
+	if c.hbInterval > 0 {
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
 
@@ -109,8 +172,58 @@ func NewClientConn(conn net.Conn, opts ClientOptions) (*Client, error) {
 // modeling the wide-area link (<= 0 disables).
 func (c *Client) SetBandwidth(bps int64) { c.bandwidthBps.Store(bps) }
 
-// Close severs the connection; in-flight requests fail promptly.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close severs the connection; in-flight and later requests fail
+// promptly with an error wrapping ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return c.conn.Close()
+}
+
+// fail records the client's terminal error; only the first one sticks,
+// so a caller-initiated Close isn't relabelled as the transport error
+// it provokes.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.mu.Unlock()
+}
+
+// heartbeatLoop is the protocol-v5 liveness probe: a Ping every
+// interval (unconditionally — the pings are what keep the server's
+// idle deadline at bay for a subscriber that never writes), and a
+// watchdog that declares the peer dead after hbIdle of total inbound
+// silence. The pong — like every inbound message — refreshes
+// lastInbound in readLoop; heartbeat pings ride request ID 0, which
+// roundTrip never allocates, so the replies need no pending entry.
+func (c *Client) heartbeatLoop() {
+	t := time.NewTicker(c.hbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		if c.hbIdle > 0 {
+			idle := time.Since(time.Unix(0, c.lastInbound.Load()))
+			if idle > c.hbIdle {
+				c.fail(fmt.Errorf("remote: peer silent for %v (heartbeat timeout): %w", idle.Round(time.Millisecond), ErrClientClosed))
+				c.conn.Close()
+				return
+			}
+		}
+		c.wmu.Lock()
+		err := writeMessage(c.bw, 0, opPing, nil)
+		c.wmu.Unlock()
+		if err != nil {
+			c.fail(fmt.Errorf("remote: heartbeat write: %w (%w)", err, ErrClientClosed))
+			c.conn.Close()
+			return
+		}
+	}
+}
 
 // readLoop routes every inbound message to its requester (or
 // subscription) until the connection dies.
@@ -119,12 +232,11 @@ func (c *Client) readLoop() {
 	for {
 		msg, err := readMessage(br, c.bandwidthBps.Load())
 		if err != nil {
-			c.mu.Lock()
-			c.readErr = fmt.Errorf("remote: connection lost: %w", err)
-			c.mu.Unlock()
+			c.fail(fmt.Errorf("remote: connection lost: %w (%w)", err, ErrClientClosed))
 			close(c.done)
 			return
 		}
+		c.lastInbound.Store(time.Now().UnixNano())
 		if msg.op == opNotify {
 			if len(msg.payload) != 8 {
 				continue
@@ -209,7 +321,7 @@ func (c *Client) roundTripCtx(ctx context.Context, op byte, payload []byte) (mes
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return message{}, err
+		return message{}, fmt.Errorf("remote: request write: %w (%w)", err, ErrClientClosed)
 	}
 
 	select {
@@ -244,6 +356,36 @@ func checkResponse(msg message) (message, error) {
 		return message{}, fmt.Errorf("remote: server error: %w", decodeWireError(msg.payload))
 	}
 	return msg, nil
+}
+
+// Ping runs one explicit heartbeat round trip and returns its RTT —
+// the cheapest liveness and latency probe the protocol offers. (The
+// background heartbeat loop pings on its own; Ping is for callers that
+// want the measurement.)
+func (c *Client) Ping() (time.Duration, error) {
+	start := time.Now()
+	msg, err := c.roundTrip(opPing, nil)
+	if err != nil {
+		return 0, err
+	}
+	if msg.op != opPingOK {
+		return 0, fmt.Errorf("remote: unexpected ping response %#02x", msg.op)
+	}
+	return time.Since(start), nil
+}
+
+// Stats fetches the server's ServiceStats plus its per-session table
+// (queue depth, drop/degrade counters, admission verdicts) — the v5
+// measurement surface for load balancing and operations.
+func (c *Client) Stats() (StatsReport, error) {
+	msg, err := c.roundTrip(opStats, nil)
+	if err != nil {
+		return StatsReport{}, err
+	}
+	if msg.op != opStatsOK {
+		return StatsReport{}, fmt.Errorf("remote: unexpected stats response %#02x", msg.op)
+	}
+	return decodeStatsReport(msg.payload)
 }
 
 // List returns the server's frame range and liveness.
@@ -595,7 +737,7 @@ func (c *Client) SubscribeWith(opts SubscribeOptions) (*Subscription, error) {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("remote: subscribe write: %w (%w)", err, ErrClientClosed)
 	}
 	accept := func(msg message) (*Subscription, error) {
 		if msg.op == opError {

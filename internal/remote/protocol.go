@@ -13,7 +13,7 @@ import (
 	"repro/internal/vec"
 )
 
-// Wire protocol v4. Every connection starts with a handshake:
+// Wire protocol v5. Every connection starts with a handshake:
 //
 //	client → server: magic "ACVP" | u32 version
 //	server → client: magic "ACVP" | u32 version | u32 flags
@@ -69,11 +69,30 @@ import (
 //     them. It is an explicit "retry elsewhere" — the fleet classifies
 //     it transient and re-dispatches, unlike application errors which
 //     would fail identically on every member.
+//
+// v5 over v4 is the resilient-session revision — what a long-lived
+// viewer over a flaky WAN needs:
+//
+//   - Ping: a no-payload liveness round trip. Clients heartbeat idle
+//     connections with it (ClientOptions.HeartbeatInterval) and both
+//     sides run idle deadlines, so a dead peer is detected in bounded
+//     time instead of a subscription hanging forever on a connection
+//     the kernel never reports dead.
+//   - Stats: the measurement surface — the service answers with its
+//     ServiceStats counters plus a per-session table (queue depth,
+//     drop/degrade counters), so operators and the self-balancing
+//     machinery see where a fan-out spends its time and which
+//     subscriber is the slow one.
+//   - ErrCodeUnavailable now also answers requests refused by
+//     admission control (ServiceOptions.MaxSessions / MaxRenders) and
+//     subscribers evicted by the SlowEvict overload policy: in every
+//     case the same request is welcome later or elsewhere, so
+//     ReconnectClient backs off and redials rather than failing.
 
 var protoMagic = [4]byte{'A', 'C', 'V', 'P'}
 
 const (
-	protoVersion = 4
+	protoVersion = 5
 
 	// maxBody bounds a message body so a corrupt or hostile length
 	// prefix cannot cause an arbitrary allocation.
@@ -93,6 +112,8 @@ const (
 	opCompute   byte = 0x05
 	opGetDelta  byte = 0x06
 	opKernels   byte = 0x07
+	opPing      byte = 0x08
+	opStats     byte = 0x09
 
 	opListOK      byte = 0x81
 	opGetOK       byte = 0x82
@@ -101,6 +122,8 @@ const (
 	opComputeOK   byte = 0x85
 	opGetDeltaOK  byte = 0x86
 	opKernelsOK   byte = 0x87
+	opPingOK      byte = 0x88
+	opStatsOK     byte = 0x89
 
 	opNotify      byte = 0x90
 	opNotifyFrame byte = 0x91
@@ -533,6 +556,146 @@ func decodeKernelList(p []byte) ([]string, error) {
 		return nil, fmt.Errorf("remote: %d trailing bytes after kernel list", len(p))
 	}
 	return names, nil
+}
+
+// SessionStats is one connection's row in the Stats response: who it
+// is, whether it subscribes (and how), and how its bounded send queue
+// is doing — the per-subscriber half of the overload measurement
+// surface. Counters are cumulative over the session's life.
+type SessionStats struct {
+	ID         uint64 // server-assigned session id, stable for the connection
+	Remote     string // peer address
+	Subscribed bool   // has an active subscription
+	Inline     bool   // subscription asked for inline frame payloads
+	Refused    bool   // admission-refused: every verb answers ErrCodeUnavailable
+	QueueDepth int    // pushes waiting in the send queue right now
+	QueueCap   int    // the queue's bound
+	Dropped    uint64 // pushes dropped by the skip policy (overflow)
+	Degraded   uint64 // pushes degraded to count-only notifies (overflow)
+	Sent       uint64 // pushes actually written to the wire
+	LastSent   int    // frame count of the newest push written (0 = none)
+}
+
+// StatsReport is the Stats verb's response: the service-wide counters
+// plus one row per live session.
+type StatsReport struct {
+	Stats    ServiceStats
+	Sessions []SessionStats
+}
+
+// Session flag bits in the wire encoding.
+const (
+	sessFlagSubscribed byte = 1 << 0
+	sessFlagInline     byte = 1 << 1
+	sessFlagRefused    byte = 1 << 2
+)
+
+// statsSessionFixed is the fixed-size prefix of one session record:
+// u64 id | u8 flags | u32 depth | u32 cap | 4×u64 counters | u8 len.
+const statsSessionFixed = 8 + 1 + 4 + 4 + 4*8 + 1
+
+// encodeStatsReport builds a Stats response payload:
+//
+//	u16 counterCount | counterCount × u64 | u32 sessionCount | records
+//
+// The counter count is on the wire so a future revision can append
+// counters without breaking older decoders.
+func encodeStatsReport(r StatsReport) []byte {
+	counters := r.Stats.counters()
+	le := binary.LittleEndian
+	out := make([]byte, 0, 2+8*len(counters)+4+len(r.Sessions)*(statsSessionFixed+16))
+	out = le.AppendUint16(out, uint16(len(counters)))
+	for _, c := range counters {
+		out = le.AppendUint64(out, c)
+	}
+	out = le.AppendUint32(out, uint32(len(r.Sessions)))
+	for _, s := range r.Sessions {
+		out = le.AppendUint64(out, s.ID)
+		var flags byte
+		if s.Subscribed {
+			flags |= sessFlagSubscribed
+		}
+		if s.Inline {
+			flags |= sessFlagInline
+		}
+		if s.Refused {
+			flags |= sessFlagRefused
+		}
+		out = append(out, flags)
+		out = le.AppendUint32(out, uint32(s.QueueDepth))
+		out = le.AppendUint32(out, uint32(s.QueueCap))
+		out = le.AppendUint64(out, s.Dropped)
+		out = le.AppendUint64(out, s.Degraded)
+		out = le.AppendUint64(out, s.Sent)
+		out = le.AppendUint64(out, uint64(s.LastSent))
+		remote := s.Remote
+		if len(remote) > math.MaxUint8 {
+			remote = remote[:math.MaxUint8]
+		}
+		out = append(out, byte(len(remote)))
+		out = append(out, remote...)
+	}
+	return out
+}
+
+// decodeStatsReport parses a Stats response payload. Malformed input —
+// truncated records, hostile counts, trailing bytes — returns an error
+// and never panics or over-allocates.
+func decodeStatsReport(p []byte) (StatsReport, error) {
+	le := binary.LittleEndian
+	if len(p) < 2 {
+		return StatsReport{}, fmt.Errorf("remote: stats payload %d bytes, want >= 2", len(p))
+	}
+	nc := int(le.Uint16(p))
+	p = p[2:]
+	if len(p) < 8*nc {
+		return StatsReport{}, fmt.Errorf("remote: stats payload truncated at counter table (%d of %d counters)", len(p)/8, nc)
+	}
+	counters := make([]uint64, nc)
+	for i := range counters {
+		counters[i] = le.Uint64(p[8*i:])
+	}
+	p = p[8*nc:]
+	var r StatsReport
+	r.Stats.setCounters(counters)
+	if len(p) < 4 {
+		return StatsReport{}, fmt.Errorf("remote: stats payload truncated before session count")
+	}
+	ns := int(le.Uint32(p))
+	p = p[4:]
+	if ns > len(p)/statsSessionFixed {
+		return StatsReport{}, fmt.Errorf("remote: stats payload claims %d sessions in %d bytes", ns, len(p))
+	}
+	r.Sessions = make([]SessionStats, 0, ns)
+	for i := 0; i < ns; i++ {
+		if len(p) < statsSessionFixed {
+			return StatsReport{}, fmt.Errorf("remote: stats session %d truncated", i)
+		}
+		var s SessionStats
+		s.ID = le.Uint64(p[0:])
+		flags := p[8]
+		s.Subscribed = flags&sessFlagSubscribed != 0
+		s.Inline = flags&sessFlagInline != 0
+		s.Refused = flags&sessFlagRefused != 0
+		s.QueueDepth = int(le.Uint32(p[9:]))
+		s.QueueCap = int(le.Uint32(p[13:]))
+		s.Dropped = le.Uint64(p[17:])
+		s.Degraded = le.Uint64(p[25:])
+		s.Sent = le.Uint64(p[33:])
+		s.LastSent = int(int64(le.Uint64(p[41:])))
+		nameLen := int(p[49])
+		p = p[statsSessionFixed:]
+		if len(p) < nameLen {
+			return StatsReport{}, fmt.Errorf("remote: stats session %d remote addr truncated (%d of %d bytes)", i, len(p), nameLen)
+		}
+		s.Remote = string(p[:nameLen])
+		p = p[nameLen:]
+		r.Sessions = append(r.Sessions, s)
+	}
+	if len(p) != 0 {
+		return StatsReport{}, fmt.Errorf("remote: %d trailing bytes after stats report", len(p))
+	}
+	return r, nil
 }
 
 // TransferEstimate returns how long a payload of the given size takes

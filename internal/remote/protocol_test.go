@@ -95,6 +95,11 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add(rawFrame(uint32(len(body)), body, crc32.ChecksumIEEE(body)))
 	f.Add([]byte("ACVP\x01\x00\x00\x00"))
 	f.Add(make([]byte, 64))
+	// v5 frames: a heartbeat and a stats response.
+	ping := goodBody(0, opPing, nil)
+	f.Add(rawFrame(uint32(len(ping)), ping, crc32.ChecksumIEEE(ping)))
+	stats := goodBody(4, opStatsOK, encodeStatsReport(statsFixture()))
+	f.Add(rawFrame(uint32(len(stats)), stats, crc32.ChecksumIEEE(stats)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Must never panic and never over-allocate on hostile lengths.
 		_, _ = readMessage(bytes.NewReader(data), 0)
@@ -112,6 +117,73 @@ func FuzzDecodePayloads(f *testing.F) {
 		_, _ = decodeListInfo(data)
 		_, _ = decodeRenderParams(data)
 		_, _, _ = decodeGetDelta(data)
+	})
+}
+
+// statsFixture is a fully-populated report for the round-trip test and
+// the fuzzer's seed corpus: every counter nonzero, every session flag
+// combination, and a remote string long enough to exercise the length
+// byte.
+func statsFixture() StatsReport {
+	return StatsReport{
+		Stats: ServiceStats{
+			FrameEncodes: 1, FrameHits: 2, Renders: 3, RenderHits: 4,
+			DeltaEncodes: 5, DeltaHits: 6, NotifyFrames: 7, NotifyCounts: 8,
+			Pings: 9, SessionsRefused: 10, RendersRefused: 11,
+			PushesDropped: 12, PushesDegraded: 13, SessionsEvicted: 14,
+		},
+		Sessions: []SessionStats{
+			{ID: 1, Remote: "10.0.0.1:51234", Subscribed: true, Inline: true,
+				QueueDepth: 3, QueueCap: 8, Dropped: 2, Degraded: 1, Sent: 40, LastSent: 41},
+			{ID: 2, Remote: "10.0.0.2:51235", Refused: true},
+			{ID: 3, Remote: ""},
+		},
+	}
+}
+
+// TestStatsReportRoundTrip pins the v5 Stats codec: every counter,
+// every session field and every flag survives encode/decode exactly.
+func TestStatsReportRoundTrip(t *testing.T) {
+	in := statsFixture()
+	out, err := decodeStatsReport(encodeStatsReport(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats != in.Stats {
+		t.Errorf("counters mangled:\n got %+v\nwant %+v", out.Stats, in.Stats)
+	}
+	if len(out.Sessions) != len(in.Sessions) {
+		t.Fatalf("session count %d, want %d", len(out.Sessions), len(in.Sessions))
+	}
+	for i := range in.Sessions {
+		if out.Sessions[i] != in.Sessions[i] {
+			t.Errorf("session %d mangled:\n got %+v\nwant %+v", i, out.Sessions[i], in.Sessions[i])
+		}
+	}
+	// Malformed payloads error cleanly.
+	good := encodeStatsReport(in)
+	for name, data := range map[string][]byte{
+		"empty-nonnil":     {},
+		"truncated table":  good[:5],
+		"truncated record": good[:len(good)-3],
+		"trailing bytes":   append(append([]byte(nil), good...), 0xee),
+	} {
+		if _, err := decodeStatsReport(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzStatsPayload is the v5 protocol fuzzer: the Stats decoder must
+// never panic or over-allocate on hostile session counts, lengths or
+// truncations.
+func FuzzStatsPayload(f *testing.F) {
+	f.Add(encodeStatsReport(statsFixture()))
+	f.Add(encodeStatsReport(StatsReport{}))
+	f.Add([]byte{0xff, 0xff})
+	f.Add(make([]byte, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeStatsReport(data)
 	})
 }
 

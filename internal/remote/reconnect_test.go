@@ -1,0 +1,363 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// fastReconnectRetry keeps the chaos tests deterministic and quick: no
+// jitter, millisecond backoff, enough attempts to ride out one injected
+// fault plus the dial behind it.
+var fastReconnectRetry = pipeline.RetryPolicy{
+	MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Jitter: -1,
+}
+
+// TestReconnectBitIdenticalResume is the tentpole chaos test: a
+// resilient subscription whose connection is severed at a deterministic
+// byte offset mid-stream must deliver every frame exactly once, in
+// order, each payload bit-identical to the server's stored encoding —
+// the resumed stream indistinguishable from an uninterrupted one.
+//
+// The fault fires on the first connection's write side at offset 100:
+// past the 8-byte hello, the 17-byte subscribe and the first fetches,
+// landing inside a mid-stream GetDelta request. The reconnect layer
+// must classify the loss transient, redial, re-subscribe, and catch up
+// from the last held frame over GetDelta.
+func TestReconnectBitIdenticalResume(t *testing.T) {
+	const nFrames = 6
+	reps := correlatedReps(t, nFrames)
+	ring, err := NewLiveRing(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if err := ring.Publish(i, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServiceWith("127.0.0.1:0", ring, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var dials atomic.Int32
+	rc, err := DialReconnect(srv.Addr(), ReconnectOptions{
+		// Heartbeats off so the byte stream is exactly the verbs below
+		// and the fault offset is deterministic.
+		Client: ClientOptions{HeartbeatInterval: -1},
+		Retry:  fastReconnectRetry,
+		Dial: func(addr string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 1 {
+				// First connection only: sever the write side after 100
+				// bytes — inside the GetDelta request for frame 3.
+				return newFaultConn(conn, faultPoint{}, faultPoint{kind: faultReset, offset: 100}), nil
+			}
+			return conn, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	sub, err := rc.SubscribeResume(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	got := make([]ResumedFrame, 0, nFrames)
+	timeout := time.After(30 * time.Second)
+	for len(got) < nFrames {
+		select {
+		case f, ok := <-sub.Frames:
+			if !ok {
+				t.Fatalf("feed closed after %d frames: %v", len(got), sub.Err())
+			}
+			got = append(got, f)
+		case <-timeout:
+			t.Fatalf("timed out after %d frames", len(got))
+		}
+	}
+
+	for i, f := range got {
+		if f.Index != i {
+			t.Fatalf("frame %d delivered at position %d — order or duplication broken", f.Index, i)
+		}
+		want, err := ring.EncodedFrame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Payload, want) {
+			t.Errorf("frame %d payload differs from the store's encoding (%d vs %d bytes)", i, len(f.Payload), len(want))
+		}
+	}
+	if n := dials.Load(); n != 2 {
+		t.Errorf("dials = %d, want 2 (one faulted, one resumed)", n)
+	}
+	if n := rc.Redials(); n != 1 {
+		t.Errorf("Redials() = %d, want 1", n)
+	}
+	if n := sub.Skipped(); n != 0 {
+		t.Errorf("Skipped() = %d, want 0 — the gapless guarantee broke", n)
+	}
+}
+
+// TestReconnectHeartbeatDetectsDeadServer: a server that completes the
+// handshake and then never answers anything must be declared dead by
+// the client's heartbeat watchdog — the connection fails with an error
+// wrapping ErrClientClosed instead of hanging forever.
+func TestReconnectHeartbeatDetectsDeadServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if err := serverHello(conn); err != nil {
+					return
+				}
+				io.Copy(io.Discard, conn) // swallow everything, answer nothing
+			}(conn)
+		}
+	}()
+
+	cli, err := DialWith(ln.Addr().String(), ClientOptions{
+		HeartbeatInterval: 20 * time.Millisecond,
+		IdleTimeout:       100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	select {
+	case <-cli.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat watchdog never declared the silent peer dead")
+	}
+	if _, err := cli.List(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("List after watchdog kill = %v, want ErrClientClosed in the chain", err)
+	}
+}
+
+// TestServiceIdleTimeoutReapsDeadPeer is the server half of liveness:
+// a client that never sends anything (heartbeats disabled) must be
+// reaped by the service's idle deadline, freeing its session slot.
+func TestServiceIdleTimeoutReapsDeadPeer(t *testing.T) {
+	store, err := NewMemStore(testReps(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServiceWith("127.0.0.1:0", store, ServiceOptions{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialWith(srv.Addr(), ClientOptions{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.List(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d after dial, want 1", n)
+	}
+
+	// The client goes silent; the server must hang up within the idle
+	// deadline, which the client observes as a dead connection.
+	select {
+	case <-cli.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle server never hung up on the silent client")
+	}
+	waitFor(t, "session reaped", func() bool { return srv.SessionCount() == 0 })
+}
+
+// TestAdmissionRefusedRetriesToSuccess: a MaxSessions-refused client is
+// told to retry (ErrCodeUnavailable), and a ReconnectClient does — the
+// call succeeds as soon as an admitted session departs, without the
+// caller seeing the refusals.
+func TestAdmissionRefusedRetriesToSuccess(t *testing.T) {
+	store, err := NewMemStore(testReps(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServiceWith("127.0.0.1:0", store, ServiceOptions{MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	holder := dial(t, srv.Addr())
+	if _, err := holder.List(); err != nil {
+		t.Fatal(err) // the slot is definitely taken now
+	}
+
+	rc, err := DialReconnect(srv.Addr(), ReconnectOptions{
+		Client: ClientOptions{HeartbeatInterval: -1},
+		Retry: pipeline.RetryPolicy{
+			MaxAttempts: 100, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	result := make(chan error, 1)
+	go func() {
+		_, err := rc.List()
+		result <- err
+	}()
+
+	// Let the refused client burn a few retries, then free the slot.
+	time.Sleep(100 * time.Millisecond)
+	holder.Close()
+
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("List through admission pressure failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("List never completed after the slot freed")
+	}
+	if n := srv.Stats().SessionsRefused; n == 0 {
+		t.Error("SessionsRefused = 0 — the test never actually hit admission control")
+	}
+}
+
+// TestClientClosedTyped pins the fail-fast contract: every call after
+// Close — or after the server hangs up — fails with an error chain
+// carrying ErrClientClosed, promptly, whether the close was local or
+// remote.
+func TestClientClosedTyped(t *testing.T) {
+	srv, _ := serveMem(t, testReps(t, 1))
+
+	local, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.Close()
+	start := time.Now()
+	if _, err := local.List(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("List after Close = %v, want ErrClientClosed in the chain", err)
+	}
+	if _, err := local.Subscribe(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("Subscribe after Close = %v, want ErrClientClosed in the chain", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Errorf("closed-client calls took %v, want fail-fast", took)
+	}
+
+	// Remote close: the server tears the connection down.
+	remote := dial(t, srv.Addr())
+	if _, err := remote.List(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	select {
+	case <-remote.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never noticed the server closing")
+	}
+	if _, err := remote.List(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("List after server close = %v, want ErrClientClosed in the chain", err)
+	}
+}
+
+// TestSubscriptionChurnNoLeaks churns 100 subscribe/unsubscribe and
+// reconnect-resume cycles and asserts both leak baselines: the server's
+// session table returns to empty and the process goroutine count
+// returns to its pre-churn level — no stranded drains, watchdogs,
+// pumps or heartbeat loops.
+func TestSubscriptionChurnNoLeaks(t *testing.T) {
+	reps := testReps(t, 2)
+	ring, err := NewLiveRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if err := ring.Publish(i, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServiceWith("127.0.0.1:0", ring, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		if i%4 == 3 {
+			// Reconnect cycle: resume-from-the-end so the pump registers
+			// without needing a consumer.
+			rc, err := DialReconnect(srv.Addr(), ReconnectOptions{
+				Client: ClientOptions{HeartbeatInterval: -1},
+				Retry:  fastReconnectRetry,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := rc.SubscribeResume(len(reps) - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub.Close()
+			rc.Close()
+			continue
+		}
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := cli.Subscribe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-sub.Updates
+		sub.Close()
+		cli.Close()
+	}
+
+	waitFor(t, "session table drained", func() bool { return srv.SessionCount() == 0 })
+	fleetNoLeaks(t, before)
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

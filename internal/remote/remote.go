@@ -16,7 +16,7 @@
 //
 // A Service serves any FrameStore to concurrent clients over a
 // versioned, length-prefixed, CRC-framed, request-ID-multiplexed
-// protocol (protocol.go, v4) with five store verbs:
+// protocol (protocol.go, v5) with these store verbs:
 //
 //   - List: frame range and liveness
 //   - Get: full-frame transfer (fetch-and-render-locally); the
@@ -41,6 +41,32 @@
 //     tier: the default stays lossless; QualityPreview opts into a
 //     quantized 8-bit image several times smaller again (lossy
 //     against the source, stable under its own round trip)
+//   - Ping (v5): heartbeat. Clients ping in the background every
+//     ClientOptions.HeartbeatInterval (default 15s) and declare a peer
+//     dead after IdleTimeout of inbound silence; the server reaps a
+//     connection that sends nothing — not even a ping — for
+//     ServiceOptions.IdleTimeout (default 2m). Both sides answer it in
+//     every state, including admission-refused sessions
+//   - Stats (v5): the measurement surface — ServiceStats counters plus
+//     a per-session table (admission verdict, subscription mode, send
+//     queue depth/capacity, drop/degrade/sent counters)
+//
+// v5 is the session-resilience revision. On the server, each
+// subscriber gets a bounded send queue (ServiceOptions.SendQueue)
+// drained by its own goroutine, so a stalled connection never blocks
+// the publisher or the other subscribers; overflow applies
+// ServiceOptions.Slow — SlowSkip drops the oldest pushes (latest
+// wins), SlowDegrade collapses an inline subscriber to count-only
+// notifies until it catches up, SlowEvict severs the connection with a
+// retryable error. Admission control (MaxSessions, MaxRenders) refuses
+// excess work with retryable ErrCodeUnavailable instead of degrading
+// admitted clients. On the client, ReconnectClient redials with
+// pipeline.Retry backoff on any transient failure (connection loss,
+// heartbeat timeout, retryable refusal), re-handshakes, and re-issues
+// the interrupted call; SubscribeResume keeps a subscription across
+// reconnects, catching up over GetDelta from the last delivered frame
+// so the resumed stream is ordered, gapless and bit-identical to an
+// uninterrupted one.
 //
 // On the server, all of Get, GetDelta and Render run behind
 // encode-once caches (LRU + single-flight): N concurrent requests for

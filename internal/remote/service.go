@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hybrid"
 	"repro/internal/render"
@@ -14,15 +15,16 @@ import (
 )
 
 // Service is the visualization server: it owns a listening socket and
-// serves a FrameStore to any number of concurrent clients over the v3
+// serves a FrameStore to any number of concurrent clients over the v5
 // protocol. Each connection multiplexes requests by ID — List, Get
 // (full-frame transfer), GetDelta (XOR-residual transfer against a
 // frame the client holds), Subscribe (live-frame push when the store
 // is a LiveStore, e.g. a pipeline publishing into a LiveRing;
-// optionally with inline frame payloads), and Render (thin-client
+// optionally with inline frame payloads), Render (thin-client
 // mode: the server renders on its tile-binned rasterizer and ships a
 // compressed framebuffer — lossless RLE or the quantized preview tier
-// — instead of the frame).
+// — instead of the frame), Ping (heartbeat) and Stats (counters plus
+// the per-session table).
 // Compute requests belong to the Worker service; a Service answers
 // them — like any other verb it does not speak — with a typed
 // ErrCodeUnknownVerb error and keeps the connection open.
@@ -40,11 +42,27 @@ type Service struct {
 	renders *blobCache[RenderParams]
 	deltas  *blobCache[deltaKey]
 
+	// Overload protection (protocol v5): opts bounds sessions, renders
+	// and per-subscriber send queues; renderGate is the MaxRenders
+	// semaphore (nil = unlimited); the session table feeds the Stats
+	// verb.
+	opts       ServiceOptions
+	renderGate chan struct{}
+
+	smu      sync.Mutex
+	sessions map[uint64]*session
+	nextSess uint64
+	admitted int
+
 	stats struct {
 		frameEncodes, frameHits   atomic.Uint64
 		renders, renderHits       atomic.Uint64
 		deltaEncodes, deltaHits   atomic.Uint64
 		notifyFrames, notifyCount atomic.Uint64
+
+		pings, sessionsRefused, rendersRefused atomic.Uint64
+		pushesDropped, pushesDegraded          atomic.Uint64
+		sessionsEvicted                        atomic.Uint64
 	}
 }
 
@@ -60,9 +78,11 @@ const (
 )
 
 // ServiceStats counts the service's per-frame work and how much of it
-// the encode-once caches absorbed. The fan-out contract is
-// FrameEncodes ≈ frames served, independent of subscriber count —
-// BenchmarkFanOut pins it.
+// the encode-once caches absorbed, plus the v5 overload counters. The
+// fan-out contract is FrameEncodes ≈ frames served, independent of
+// subscriber count — BenchmarkFanOut pins it; the overload contract is
+// publisher latency independent of stalled-subscriber count —
+// BenchmarkSlowSubscriber pins that.
 type ServiceStats struct {
 	FrameEncodes uint64 // frame wire encodings actually computed
 	FrameHits    uint64 // Get/notify requests served from cache or flight
@@ -72,6 +92,39 @@ type ServiceStats struct {
 	DeltaHits    uint64 // delta requests served from cache or flight
 	NotifyFrames uint64 // inline frame payload notifies written
 	NotifyCounts uint64 // count-only notifies written
+
+	Pings           uint64 // heartbeat round trips answered
+	SessionsRefused uint64 // connections refused by MaxSessions admission
+	RendersRefused  uint64 // renders refused by the MaxRenders gate
+	PushesDropped   uint64 // subscriber pushes dropped by the skip policy
+	PushesDegraded  uint64 // subscriber pushes degraded to count-only
+	SessionsEvicted uint64 // slow subscribers evicted (SlowEvict)
+}
+
+// counters flattens the stats into the fixed wire order of the Stats
+// verb; setCounters is its tolerant inverse (a shorter table from an
+// older server leaves the missing fields zero).
+func (s ServiceStats) counters() []uint64 {
+	return []uint64{
+		s.FrameEncodes, s.FrameHits, s.Renders, s.RenderHits,
+		s.DeltaEncodes, s.DeltaHits, s.NotifyFrames, s.NotifyCounts,
+		s.Pings, s.SessionsRefused, s.RendersRefused,
+		s.PushesDropped, s.PushesDegraded, s.SessionsEvicted,
+	}
+}
+
+func (s *ServiceStats) setCounters(c []uint64) {
+	dst := []*uint64{
+		&s.FrameEncodes, &s.FrameHits, &s.Renders, &s.RenderHits,
+		&s.DeltaEncodes, &s.DeltaHits, &s.NotifyFrames, &s.NotifyCounts,
+		&s.Pings, &s.SessionsRefused, &s.RendersRefused,
+		&s.PushesDropped, &s.PushesDegraded, &s.SessionsEvicted,
+	}
+	for i, p := range dst {
+		if i < len(c) {
+			*p = c[i]
+		}
+	}
 }
 
 // Stats snapshots the service's work counters.
@@ -85,20 +138,40 @@ func (s *Service) Stats() ServiceStats {
 		DeltaHits:    s.stats.deltaHits.Load(),
 		NotifyFrames: s.stats.notifyFrames.Load(),
 		NotifyCounts: s.stats.notifyCount.Load(),
+
+		Pings:           s.stats.pings.Load(),
+		SessionsRefused: s.stats.sessionsRefused.Load(),
+		RendersRefused:  s.stats.rendersRefused.Load(),
+		PushesDropped:   s.stats.pushesDropped.Load(),
+		PushesDegraded:  s.stats.pushesDegraded.Load(),
+		SessionsEvicted: s.stats.sessionsEvicted.Load(),
 	}
 }
 
 // NewService starts a service for store on addr (use "127.0.0.1:0" for
-// an ephemeral port).
+// an ephemeral port) with default ServiceOptions: unlimited sessions
+// and renders, latest-wins slow subscribers.
 func NewService(addr string, store FrameStore) (*Service, error) {
+	return NewServiceWith(addr, store, ServiceOptions{})
+}
+
+// NewServiceWith starts a service with explicit overload-protection
+// options — session and render admission limits, send-queue bound,
+// slow-subscriber policy, idle reaping.
+func NewServiceWith(addr string, store FrameStore, opts ServiceOptions) (*Service, error) {
 	if store == nil {
 		return nil, fmt.Errorf("remote: nil frame store")
 	}
 	s := &Service{
-		store:   store,
-		frames:  newBlobCache[int](frameCacheCap),
-		renders: newBlobCache[RenderParams](renderCacheCap),
-		deltas:  newBlobCache[deltaKey](deltaCacheCap),
+		store:    store,
+		frames:   newBlobCache[int](frameCacheCap),
+		renders:  newBlobCache[RenderParams](renderCacheCap),
+		deltas:   newBlobCache[deltaKey](deltaCacheCap),
+		opts:     opts,
+		sessions: make(map[uint64]*session),
+	}
+	if opts.MaxRenders > 0 {
+		s.renderGate = make(chan struct{}, opts.MaxRenders)
 	}
 	srv, err := newServer(addr, s.handle)
 	if err != nil {
@@ -124,17 +197,27 @@ func (s *Service) Close() error { return s.srv.Close() }
 // integrity is intact, and the two service roles share one protocol —
 // a client that sends Compute to a frame service (or Get to a worker)
 // deserves an answer it can classify, not a dropped session.
+//
+// v5 adds the session envelope: every connection gets a session-table
+// row and an admission verdict (an over-limit session answers all
+// verbs but Ping with a retryable ErrCodeUnavailable), a read deadline
+// reaps peers that go silent past the idle timeout (live v5 clients
+// heartbeat well inside it), and Subscribe pushes flow through a
+// bounded per-session send queue instead of an unbounded notifier.
 func (s *Service) handle(conn net.Conn) {
 	if err := serverHello(conn); err != nil {
 		return
 	}
+	sess := s.addSession(conn.RemoteAddr().String())
+	defer s.removeSession(sess)
+
 	br := bufio.NewReaderSize(conn, 1<<16)
 	w := newConnWriter(conn)
 
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
 
-	// Subscription state: one notifier per connection, latest-wins.
+	// Subscription state: one send queue per connection.
 	var subCancel func()
 	defer func() {
 		if subCancel != nil {
@@ -142,10 +225,33 @@ func (s *Service) handle(conn net.Conn) {
 		}
 	}()
 
+	idle := s.opts.idleTimeout()
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		msg, err := readMessage(br, 0)
 		if err != nil {
 			return
+		}
+		// Heartbeat: answered inline for every session — including
+		// refused ones, so a waiting-to-retry client can keep its
+		// connection warm — and cheap enough to never need a goroutine.
+		if msg.op == opPing {
+			s.stats.pings.Add(1)
+			if w.send(msg.reqID, opPingOK, nil) != nil {
+				return
+			}
+			continue
+		}
+		if sess.refused {
+			if w.sendErr(msg.reqID, &WireError{
+				Code: ErrCodeUnavailable,
+				Msg:  "remote: server at session capacity, retry later",
+			}) != nil {
+				return
+			}
+			continue
 		}
 		switch msg.op {
 		case opList, opGet, opGetDelta, opRender:
@@ -154,6 +260,10 @@ func (s *Service) handle(conn net.Conn) {
 				defer reqs.Done()
 				s.serveRequest(w, m)
 			}(msg)
+		case opStats:
+			if w.send(msg.reqID, opStatsOK, encodeStatsReport(s.statsReport())) != nil {
+				return
+			}
 		case opSubscribe:
 			var flags byte
 			switch len(msg.payload) {
@@ -171,17 +281,20 @@ func (s *Service) handle(conn net.Conn) {
 			}
 			// Register the watcher before reading the count so no
 			// publish can fall between them unseen. A re-subscribe
-			// replaces the notifier, so pushes follow the newest
+			// replaces the queue, so pushes follow the newest
 			// request ID.
 			if sub, ok := s.store.(LiveStore); ok {
 				if subCancel != nil {
 					subCancel()
 				}
-				notify := newNotifier(s, w, msg.reqID, flags&subFlagInline != 0)
-				cancelWatch := sub.Watch(notify.update)
+				q := newSubQueue(s, w, msg.reqID, flags&subFlagInline != 0)
+				sess.mu.Lock()
+				sess.q = q
+				sess.mu.Unlock()
+				cancelWatch := sub.Watch(q.update)
 				subCancel = func() {
 					cancelWatch()
-					notify.stop()
+					q.stop()
 				}
 			}
 			payload := make([]byte, 8)
@@ -334,6 +447,18 @@ func (s *Service) renderBlob(p RenderParams) ([]byte, error) {
 // frame. The preview tier swaps only the wire codec — quantized 8-bit
 // color, no depth — never the render itself.
 func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
+	if s.renderGate != nil {
+		select {
+		case s.renderGate <- struct{}{}:
+			defer func() { <-s.renderGate }()
+		default:
+			s.stats.rendersRefused.Add(1)
+			return nil, &WireError{
+				Code: ErrCodeUnavailable,
+				Msg:  "remote: render capacity exhausted, retry later",
+			}
+		}
+	}
 	rep, err := s.store.Frame(p.Frame)
 	if err != nil {
 		return nil, err
@@ -358,84 +483,5 @@ func (s *Service) renderFrame(p RenderParams) ([]byte, error) {
 	return render.CompressFramebuffer(fb), nil
 }
 
-// newNotifier builds the per-subscription push machinery: the store's
-// watcher callback records only the latest frame count (never
-// blocking the publisher — this is what keeps a slow client from
-// backpressuring the simulation), and a dedicated goroutine drains it
-// onto the wire as fast as the connection accepts.
-//
-// In inline mode (protocol v3's encode-once broadcast) each drain
-// ships the newest frame's wire encoding in the notify itself: the
-// encoding comes from the store's publish-time cache or the service's
-// single-flight frame cache, so one encode feeds every subscriber and
-// the same buffer is written to every connection (sendVec — only the
-// 12-byte header is per-connection). A frame that is gone by the time
-// the drain runs (live rings evict) degrades to a count-only notify.
-type notifier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	latest  int
-	sent    int
-	stopped bool
-	done    chan struct{}
-}
-
-func newNotifier(s *Service, w *connWriter, reqID uint64, inline bool) *notifier {
-	n := &notifier{done: make(chan struct{})}
-	n.cond = sync.NewCond(&n.mu)
-	go func() {
-		defer close(n.done)
-		for {
-			n.mu.Lock()
-			for n.latest == n.sent && !n.stopped {
-				n.cond.Wait()
-			}
-			if n.stopped {
-				n.mu.Unlock()
-				return
-			}
-			frames := n.latest
-			n.sent = frames
-			n.mu.Unlock()
-			if inline && frames > 0 {
-				if enc, err := s.encodedFrame(frames - 1); err == nil &&
-					notifyFrameHeader+len(enc) <= maxBody-msgOverhead {
-					var head [notifyFrameHeader]byte
-					binary.LittleEndian.PutUint64(head[0:], uint64(frames))
-					binary.LittleEndian.PutUint32(head[8:], uint32(frames-1))
-					if w.sendVec(reqID, opNotifyFrame, head[:], enc) != nil {
-						return
-					}
-					s.stats.notifyFrames.Add(1)
-					continue
-				}
-			}
-			payload := make([]byte, 8)
-			binary.LittleEndian.PutUint64(payload, uint64(frames))
-			if w.send(reqID, opNotify, payload) != nil {
-				return
-			}
-			s.stats.notifyCount.Add(1)
-		}
-	}()
-	return n
-}
-
-// update is the watcher callback; it never blocks.
-func (n *notifier) update(frames int) {
-	n.mu.Lock()
-	if frames > n.latest {
-		n.latest = frames
-	}
-	n.mu.Unlock()
-	n.cond.Signal()
-}
-
-// stop terminates the notifier goroutine and waits for it.
-func (n *notifier) stop() {
-	n.mu.Lock()
-	n.stopped = true
-	n.mu.Unlock()
-	n.cond.Signal()
-	<-n.done
-}
+// The per-subscription push machinery (previously `notifier`, now the
+// bounded policy-aware `subQueue`) lives in session.go.

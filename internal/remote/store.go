@@ -126,7 +126,12 @@ type DirStore struct {
 // bound (frames are ~100MB at paper scale).
 const maxDecodedFrames = 4
 
-// NewDirStore scans dir for *.achy files.
+// NewDirStore scans dir for *.achy files. Structurally incomplete
+// files — the partial leftovers of a writer killed mid-frame (current
+// writers rename atomically, but copies and older producers don't) —
+// are skipped rather than served: a partial frame would fail every Get
+// with a CRC error, and List/Frame indices must name frames that
+// actually decode.
 func NewDirStore(dir string) (*DirStore, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.achy"))
 	if err != nil {
@@ -135,8 +140,17 @@ func NewDirStore(dir string) (*DirStore, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("remote: no .achy frames in %s", dir)
 	}
-	sort.Strings(paths)
-	return &DirStore{paths: paths, decoded: make(map[int]*hybrid.Representation)}, nil
+	complete := paths[:0]
+	for _, p := range paths {
+		if hybrid.FileComplete(p) {
+			complete = append(complete, p)
+		}
+	}
+	if len(complete) == 0 {
+		return nil, fmt.Errorf("remote: no complete .achy frames in %s (partial files skipped)", dir)
+	}
+	sort.Strings(complete)
+	return &DirStore{paths: complete, decoded: make(map[int]*hybrid.Representation)}, nil
 }
 
 // NumFrames implements FrameStore.

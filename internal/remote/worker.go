@@ -158,6 +158,11 @@ func (w *Worker) handle(conn net.Conn) {
 				defer w.inflight.Done()
 				w.serveCompute(ctx, cw, m)
 			}(msg)
+		case opPing:
+			msg.recycle()
+			if cw.send(msg.reqID, opPingOK, nil) != nil {
+				return
+			}
 		case opKernels:
 			msg.recycle()
 			payload, err := encodeKernelList(w.Kernels())

@@ -16,11 +16,16 @@
 //	vizserve -dir ./frames
 //	vizserve -live -max-sessions 64 -max-renders 4 -slow evict
 //
-// The v5 overload flags bound what a viewer crowd can do to the
-// service: -max-sessions and -max-renders refuse excess work with a
-// retryable error (reconnecting clients back off and retry), -queue
-// bounds each subscriber's send queue, and -slow picks what happens
-// to a subscriber that can't keep up (skip | degrade | evict).
+// The overload flags (protocol v5) bound what a viewer crowd can do
+// to the service: -max-sessions and -max-renders refuse excess work
+// with a retryable error (reconnecting clients back off and retry),
+// -queue bounds each subscriber's send queue, and -slow picks what
+// happens to a subscriber that can't keep up (skip | degrade |
+// evict). The service speaks protocol v6: the pipeline feeding it can
+// itself fan sub-volume renders across vizworker fleets
+// (core.StreamOptions.RenderAddrs, kernel render.partial.v1) and
+// depth-composite the partials before frames ever reach this server —
+// the sort-last half of the paper's parallel rendering architecture.
 package main
 
 import (

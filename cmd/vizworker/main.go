@@ -1,12 +1,15 @@
 // Command vizworker hosts a compute worker for distributed stage
 // execution: it serves the service protocol's Compute verb with the
-// built-in stage kernels (hybrid extraction, field-line tracing), so a
-// pipeline elsewhere can place its heavy per-frame compute on this
-// process with core.StreamOptions.ExtractAddr / ExtractAddrs — the
+// built-in stage kernels (hybrid extraction, field-line tracing, and
+// the sort-last partial render render.partial.v1), so a pipeline
+// elsewhere can place its heavy per-frame compute on this process with
+// core.StreamOptions.ExtractAddr / ExtractAddrs / RenderAddrs — the
 // paper's split of simulation and visualization compute across
 // machines. Workers advertise their kernel set over the Kernels verb,
 // which is how a fleet verifies provisioning before striping frames
-// here.
+// here; render fleets use the same check to confirm a worker can
+// produce depth-augmented partial framebuffers before sub-volume
+// renders are fanned to it.
 //
 // Usage:
 //
@@ -14,8 +17,8 @@
 //
 // The chosen address is printed as "vizworker: serving ... on ADDR" —
 // with -addr 127.0.0.1:0 the kernel-chosen port appears there, which
-// is how the two-process example (examples/distextract) finds its
-// child worker.
+// is how the multi-process examples (examples/distextract,
+// examples/distrender) find their child workers.
 //
 // On SIGINT or SIGTERM the worker drains instead of dying mid-frame:
 // it stops accepting connections, answers new Compute requests with a

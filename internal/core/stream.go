@@ -131,6 +131,14 @@ type RenderOptions struct {
 	PointScale    float64 // point splat radius in pixels (default 1.5)
 	Opaque        bool    // draw points fully opaque (Fig 4 style)
 	Workers       int     // concurrent frames in the render stage
+
+	// Partitions is the number of sub-volume partitions each frame's
+	// point pass splits into when StreamOptions.RenderAddrs places
+	// rendering on a fleet (0 = one per fleet member). The composited
+	// frame is bit-identical at every partition count; more partitions
+	// than members smooths the striping when sub-volumes have uneven
+	// screen footprints. Ignored for local rendering.
+	Partitions int
 }
 
 func (o RenderOptions) withDefaults() RenderOptions {
@@ -212,6 +220,26 @@ type StreamOptions struct {
 	// is always hybrid extraction; the window is ExtractWorkers). nil
 	// means defaults.
 	ExtractPolicy *remote.FleetOptions
+
+	// RenderAddrs places each frame's point pass on a fleet of render
+	// workers — sort-last distributed rendering. The stage splits the
+	// frame's hybrid point set along the octree partition into
+	// Render.Partitions contiguous sub-volumes, fans them across the
+	// fleet's render.partial.v1 kernels (striping, retry/failover and
+	// per-member windows exactly as ExtractAddrs), and composites the
+	// returned RGBA+depth partials back in partition order before
+	// ray-casting the density volume locally over the merged image.
+	// The composited frame is bit-identical to the single-node render
+	// at every partition count, every worker count, and across a
+	// worker lost mid-frame. Requires Render; every member must
+	// advertise the render kernel.
+	RenderAddrs []string
+
+	// RenderPolicy optionally tunes the render fleet the way
+	// ExtractPolicy tunes the extraction fleet. Kernel and Window are
+	// owned by the stream (always render.partial.v1; the window is
+	// Render.Workers). nil means defaults.
+	RenderPolicy *remote.FleetOptions
 }
 
 // StreamResult is the per-frame output of StreamFrames, emitted in
@@ -222,7 +250,7 @@ type StreamResult struct {
 	Tree  *octree.Tree           // nil unless KeepTrees or SkipExtract
 	Rep   *hybrid.Representation // nil when SkipExtract
 	FB    *render.Framebuffer    // nil unless Render
-	Rast  *render.Rasterizer     // point-pass stats, when rendered
+	Rast  *render.Rasterizer     // point-pass stats; nil when the point pass ran on a render fleet
 	VR    *volren.Renderer       // volume-pass stats, when rendered
 }
 
@@ -265,6 +293,9 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 	if opts.ExtractAddr != "" && len(opts.ExtractAddrs) > 0 {
 		return fail(fmt.Errorf("core: set StreamOptions.ExtractAddr or ExtractAddrs, not both"))
 	}
+	if len(opts.RenderAddrs) > 0 && opts.Render == nil {
+		return fail(fmt.Errorf("core: StreamOptions.RenderAddrs places rendering remotely; set Render"))
+	}
 	addrs := opts.ExtractAddrs
 	if opts.ExtractAddr != "" {
 		addrs = []string{opts.ExtractAddr}
@@ -302,6 +333,27 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 			return fail(fmt.Errorf("core: dialing extract worker %s: %w", strings.Join(addrs, ","), err))
 		}
 		fleet = fl
+		pl.Defer(func() { fl.Close() })
+	}
+
+	// The render fleet builds up front for the same reason, checking
+	// every member advertises the render kernel before a frame flows.
+	var renderFleet *remote.Fleet
+	if len(opts.RenderAddrs) > 0 {
+		fo := remote.FleetOptions{}
+		if opts.RenderPolicy != nil {
+			fo = *opts.RenderPolicy
+		}
+		fo.Kernel = remote.KernelRenderPartial
+		fo.Window = opts.Render.Workers
+		if fo.Window < 1 {
+			fo.Window = 1
+		}
+		fl, err := remote.NewFleet(opts.RenderAddrs, fo)
+		if err != nil {
+			return fail(fmt.Errorf("core: dialing render worker %s: %w", strings.Join(opts.RenderAddrs, ","), err))
+		}
+		renderFleet = fl
 		pl.Defer(func() { fl.Close() })
 	}
 
@@ -398,28 +450,55 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 			}
 			return fb
 		})
-		aspect := float64(ro.Width) / float64(ro.Height)
-		out = pipeline.Map(pl, out,
-			pipeline.StageConfig{Name: "render", Workers: ro.Workers, Buf: buf},
-			func(_ context.Context, r StreamResult) (StreamResult, error) {
-				tf, err := DefaultTF(r.Rep)
-				if err != nil {
-					return r, fmt.Errorf("frame %d: %w", r.Index, err)
-				}
-				cam, err := render.LookAtBounds(r.Rep.Bounds, ro.ViewDir, math.Pi/3, aspect)
-				if err != nil {
-					return r, fmt.Errorf("frame %d: %w", r.Index, err)
-				}
-				fb := s.fbs.Get()
-				fb.Clear(hybrid.RGBA{})
-				rast, vr, err := volren.RenderHybrid(r.Rep, tf, fb, cam, ro.PointScale, ro.Opaque)
-				if err != nil {
-					s.fbs.Put(fb)
-					return r, fmt.Errorf("frame %d: %w", r.Index, err)
-				}
-				r.FB, r.Rast, r.VR = fb, rast, vr
-				return r, nil
-			})
+		if renderFleet != nil {
+			// Sort-last distributed placement: each frame's point pass
+			// splits into parts sub-volumes fanned across the fleet;
+			// the partials composite back in partition order and the
+			// volume pass runs locally over the merged image. Workers
+			// frames overlap their fan-outs; within a frame the fleet's
+			// striping and windows bound the per-member load.
+			parts := ro.Partitions
+			if parts < 1 {
+				parts = len(opts.RenderAddrs)
+			}
+			fl := renderFleet
+			out = pipeline.Map(pl, out,
+				pipeline.StageConfig{Name: "render@" + strings.Join(opts.RenderAddrs, ","), Workers: ro.Workers, Buf: buf},
+				func(ctx context.Context, r StreamResult) (StreamResult, error) {
+					fb := s.fbs.Get()
+					fb.Clear(hybrid.RGBA{})
+					vr, err := renderDistributed(ctx, fl, r.Rep, ro, parts, fb)
+					if err != nil {
+						s.fbs.Put(fb)
+						return r, fmt.Errorf("frame %d: %w", r.Index, err)
+					}
+					r.FB, r.VR = fb, vr
+					return r, nil
+				})
+		} else {
+			aspect := float64(ro.Width) / float64(ro.Height)
+			out = pipeline.Map(pl, out,
+				pipeline.StageConfig{Name: "render", Workers: ro.Workers, Buf: buf},
+				func(_ context.Context, r StreamResult) (StreamResult, error) {
+					tf, err := DefaultTF(r.Rep)
+					if err != nil {
+						return r, fmt.Errorf("frame %d: %w", r.Index, err)
+					}
+					cam, err := render.LookAtBounds(r.Rep.Bounds, ro.ViewDir, math.Pi/3, aspect)
+					if err != nil {
+						return r, fmt.Errorf("frame %d: %w", r.Index, err)
+					}
+					fb := s.fbs.Get()
+					fb.Clear(hybrid.RGBA{})
+					rast, vr, err := volren.RenderHybrid(r.Rep, tf, fb, cam, ro.PointScale, ro.Opaque)
+					if err != nil {
+						s.fbs.Put(fb)
+						return r, fmt.Errorf("frame %d: %w", r.Index, err)
+					}
+					r.FB, r.Rast, r.VR = fb, rast, vr
+					return r, nil
+				})
+		}
 	}
 	s.Stream = pipeline.NewStream(pl, out)
 	return s

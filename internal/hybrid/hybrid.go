@@ -350,6 +350,17 @@ func ReadFile(path string) (*Representation, error) {
 // transfer function's value at 0.75 ... means three out of every four
 // points are drawn" holds without flicker between frames.
 func (r *Representation) SelectPoints(tf *LinkedTF) []int {
+	return r.SelectPointsOffset(tf, 0)
+}
+
+// SelectPointsOffset selects points as SelectPoints does, but treats
+// the representation as the contiguous sub-range of a larger frame
+// starting at global point index offset: point i hashes as global
+// point offset+i. Splitting a frame's points into contiguous ranges
+// and selecting each range at its own offset therefore draws exactly
+// the points the undivided frame would — the invariant the sort-last
+// distributed render path depends on.
+func (r *Representation) SelectPointsOffset(tf *LinkedTF, offset int) []int {
 	const phi = 0.6180339887498949
 	out := make([]int, 0, len(r.Points))
 	for i := range r.Points {
@@ -361,7 +372,7 @@ func (r *Representation) SelectPoints(tf *LinkedTF) []int {
 			out = append(out, i)
 			continue
 		}
-		u := math.Mod(float64(i+1)*phi, 1)
+		u := math.Mod(float64(offset+i+1)*phi, 1)
 		if u < f {
 			out = append(out, i)
 		}

@@ -472,6 +472,51 @@ func TestSelectPointsFraction(t *testing.T) {
 	}
 }
 
+// TestSelectPointsOffsetSplitEquivalence is the guarantee the
+// sort-last distributed render leans on: splitting a frame's points
+// into contiguous ranges and selecting each range at its own global
+// offset draws exactly the points the undivided selection draws.
+func TestSelectPointsOffsetSplitEquivalence(t *testing.T) {
+	n := 5000
+	rep := &Representation{
+		Points:       make([]vec.V3, n),
+		PointDensity: make([]float32, n),
+	}
+	for i := range rep.PointDensity {
+		rep.PointDensity[i] = float32(i%7) / 10
+	}
+	vol, err := NewScalarTF([]float64{0, 1}, []float64{0.6, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLinkedTF(vol, GrayMap(), 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.SelectPoints(l)
+	if len(want) == 0 || len(want) == n {
+		t.Fatalf("degenerate selection: %d of %d", len(want), n)
+	}
+	for _, parts := range []int{1, 2, 3, 8} {
+		var got []int
+		for k := 0; k < parts; k++ {
+			lo, hi := k*n/parts, (k+1)*n/parts
+			sub := &Representation{Points: rep.Points[lo:hi], PointDensity: rep.PointDensity[lo:hi]}
+			for _, i := range sub.SelectPointsOffset(l, lo) {
+				got = append(got, lo+i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parts=%d: selected %d points, want %d", parts, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("parts=%d: selection %d is point %d, want %d", parts, j, got[j], want[j])
+			}
+		}
+	}
+}
+
 func TestSelectPointsExtremes(t *testing.T) {
 	rep := &Representation{
 		Points:       make([]vec.V3, 100),

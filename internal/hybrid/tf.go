@@ -296,9 +296,18 @@ func (l *LinkedTF) Complementary() bool {
 // breakpoint sits at the extraction boundary, the heat-map color ramp,
 // and a low constant volume opacity so the interior stays visible.
 func DefaultTF(rep *Representation) (*LinkedTF, error) {
+	return DefaultTFParams(rep.Threshold, rep.MaxLeafD)
+}
+
+// DefaultTFParams builds DefaultTF's transfer-function pair from the
+// only two representation fields it depends on — the extraction
+// threshold and the maximum leaf density. A remote render kernel
+// rebuilds the identical TF from these sixteen wire bytes instead of
+// shipping a whole frame.
+func DefaultTFParams(threshold, maxLeafD float64) (*LinkedTF, error) {
 	boundary := 1.0
-	if rep.MaxLeafD > 0 {
-		boundary = rep.Threshold / rep.MaxLeafD
+	if maxLeafD > 0 {
+		boundary = threshold / maxLeafD
 	}
 	dom := LogDomain(1e4)
 	b := dom(boundary)

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/compositor"
 	"repro/internal/hybrid"
 	"repro/internal/octree"
+	"repro/internal/render"
 	"repro/internal/vec"
 )
 
@@ -353,6 +356,108 @@ func BenchmarkFleetExtract(b *testing.B) {
 					b.Fatal(err)
 				default:
 				}
+			})
+		}
+		run("loopback", 0)
+		run("throttled", throttle)
+	}
+}
+
+// BenchmarkDistributedRender scales the sort-last render path across
+// 1, 2 and 3 fleet members, loopback and over the modeled per-member
+// wide-area link: each frame splits into four sub-volume partitions,
+// the fleet renders them via render.partial.v1, and the partials
+// depth-composite back into one frame. bytes/op is the frame's full
+// wire cost (requests out, compressed partials back) so a codec
+// regression shows as a changed rate; partial-B records the average
+// compressed partial size and composite-ms the per-frame composite
+// cost, the two halves of the sort-last economics (ship less, merge
+// fast).
+func BenchmarkDistributedRender(b *testing.B) {
+	rep := renderRepFixture(b, 20_000)
+	const parts = 4
+	n := len(rep.Points)
+
+	reqs := make([]*RenderPartialRequest, parts)
+	var reqBytes, partialBytes int64
+	for k := 0; k < parts; k++ {
+		reqs[k] = renderReqFixture(rep, k, k*n/parts, (k+1)*n/parts)
+		reqs[k].Width, reqs[k].Height = 128, 128
+		reqBytes += int64(len(appendRenderPartialRequest(nil, reqs[k])))
+		// The worker's reply is bit-identical to the local pass, so its
+		// wire size is too.
+		partialBytes += int64(len(render.CompressPartial(localPointPass(b, reqs[k]), k)))
+	}
+
+	addrs := make([]string, 3)
+	for i := range addrs {
+		w, err := NewWorker("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		addrs[i] = w.Addr()
+	}
+	// ~20ms per frame's partials at this size, per member link, as in
+	// BenchmarkFleetExtract: the modeled transfer dominates, so the
+	// throttled rows isolate the striping gain.
+	throttle := partialBytes * 50 / parts
+
+	for _, members := range []int{1, 2, 3} {
+		run := func(link string, bps int64) {
+			b.Run(fmt.Sprintf("%s/workers=%d", link, members), func(b *testing.B) {
+				fl, err := NewFleet(addrs[:members], FleetOptions{
+					Kernel:        KernelRenderPartial,
+					Window:        2,
+					BandwidthBps:  bps,
+					ProbeInterval: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer fl.Close()
+				fb, err := render.NewFramebuffer(128, 128)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(reqBytes + partialBytes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var compositeNs int64
+				for i := 0; i < b.N; i++ {
+					partials := make([]*render.PartialFrame, parts)
+					errs := make(chan error, parts)
+					var wg sync.WaitGroup
+					for k := 0; k < parts; k++ {
+						wg.Add(1)
+						go func(k int) {
+							defer wg.Done()
+							pf, err := fl.ComputeRender(context.Background(), reqs[k])
+							if err != nil {
+								select {
+								case errs <- err:
+								default:
+								}
+								return
+							}
+							partials[k] = pf
+						}(k)
+					}
+					wg.Wait()
+					select {
+					case err := <-errs:
+						b.Fatal(err)
+					default:
+					}
+					fb.Clear(hybrid.RGBA{})
+					start := time.Now()
+					if err := compositor.CompositeDepth(fb, partials, 0); err != nil {
+						b.Fatal(err)
+					}
+					compositeNs += time.Since(start).Nanoseconds()
+				}
+				b.ReportMetric(float64(partialBytes)/parts, "partial-B")
+				b.ReportMetric(float64(compositeNs)/1e6/float64(b.N), "composite-ms")
 			})
 		}
 		run("loopback", 0)

@@ -397,7 +397,7 @@ func TestWorkerKernelsAdvertised(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{KernelFieldlineTrace, KernelHybridExtract}
+	want := []string{KernelFieldlineTrace, KernelHybridExtract, KernelRenderPartial}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("Kernels = %v, want %v", names, want)
 	}

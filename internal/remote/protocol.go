@@ -13,7 +13,7 @@ import (
 	"repro/internal/vec"
 )
 
-// Wire protocol v5. Every connection starts with a handshake:
+// Wire protocol v6. Every connection starts with a handshake:
 //
 //	client → server: magic "ACVP" | u32 version
 //	server → client: magic "ACVP" | u32 version | u32 flags
@@ -88,11 +88,31 @@ import (
 //     subscribers evicted by the SlowEvict overload policy: in every
 //     case the same request is welcome later or elsewhere, so
 //     ReconnectClient backs off and redials rather than failing.
+//
+// v6 over v5 is the sort-last distributed rendering revision. No new
+// opcode: the change is a third built-in worker kernel riding the
+// Compute verb, plus the wire blobs it speaks. The built-in kernel
+// table as of v6:
+//
+//	hybrid.extract.v1   "ACPT" point set in    .achy representation out
+//	fieldline.trace.v1  "ACFS" seed batch in   "ACFR" traced lines out
+//	render.partial.v1   "ACPR" sub-volume in   "ACPB" RGBA+depth partial out
+//
+// render.partial.v1 takes one contiguous octree-ordered slice of a
+// frame's halo points with the camera/TF parameters and returns the
+// slice's rendered partial framebuffer, RLE-compressed with its depth
+// plane (render.CompressPartial). The requester composites the
+// partials in partition order (compositor.CompositeDepth) and runs
+// the volume pass over the merged image, reproducing the single-node
+// frame bit for bit at any partition and worker count. The version
+// bump exists so a v5 peer — which would answer the kernel name with
+// ErrCodeUnknownKernel only after a frame-sized request crossed the
+// wire — is refused at handshake instead.
 
 var protoMagic = [4]byte{'A', 'C', 'V', 'P'}
 
 const (
-	protoVersion = 5
+	protoVersion = 6
 
 	// maxBody bounds a message body so a corrupt or hostile length
 	// prefix cannot cause an arbitrary allocation.

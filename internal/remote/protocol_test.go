@@ -100,6 +100,19 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add(rawFrame(uint32(len(ping)), ping, crc32.ChecksumIEEE(ping)))
 	stats := goodBody(4, opStatsOK, encodeStatsReport(statsFixture()))
 	f.Add(rawFrame(uint32(len(stats)), stats, crc32.ChecksumIEEE(stats)))
+	// v6 frame: a Compute carrying the partial-render kernel's blob.
+	rreq, err := appendComputeHeader(nil, KernelRenderPartial)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rreq = appendRenderPartialRequest(rreq, &RenderPartialRequest{
+		Width: 8, Height: 8, ViewDir: vec.New(0, 0, 1), PointScale: 1,
+		Bounds:    vec.Box(vec.New(0, 0, 0), vec.New(1, 1, 1)),
+		Threshold: 0.1, MaxLeafD: 0.5,
+		Points: []vec.V3{vec.New(0.5, 0.5, 0.5)}, Density: []float32{0.3},
+	})
+	compute := goodBody(5, opCompute, rreq)
+	f.Add(rawFrame(uint32(len(compute)), compute, crc32.ChecksumIEEE(compute)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Must never panic and never over-allocate on hostile lengths.
 		_, _ = readMessage(bytes.NewReader(data), 0)
@@ -113,10 +126,18 @@ func FuzzDecodePayloads(f *testing.F) {
 	f.Add(encodeRenderParams(RenderParams{Frame: 1, Width: 64, Height: 64, Quality: QualityPreview}))
 	f.Add(encodeRenderParams(RenderParams{})[:renderParamsLenV2]) // legacy v2 length
 	f.Add(encodeGetDelta(7, 6))
+	// v6 payload: the partial-render kernel's request blob.
+	f.Add(appendRenderPartialRequest(nil, &RenderPartialRequest{
+		Width: 8, Height: 8, ViewDir: vec.New(0, 0, 1), PointScale: 1,
+		Bounds:    vec.Box(vec.New(0, 0, 0), vec.New(1, 1, 1)),
+		Threshold: 0.1, MaxLeafD: 0.5,
+		Points: []vec.V3{vec.New(0.5, 0.5, 0.5)}, Density: []float32{0.3},
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = decodeListInfo(data)
 		_, _ = decodeRenderParams(data)
 		_, _, _ = decodeGetDelta(data)
+		_, _ = decodeRenderPartialRequest(data)
 	})
 }
 

@@ -16,7 +16,7 @@
 //
 // A Service serves any FrameStore to concurrent clients over a
 // versioned, length-prefixed, CRC-framed, request-ID-multiplexed
-// protocol (protocol.go, v5) with these store verbs:
+// protocol (protocol.go, v6) with these store verbs:
 //
 //   - List: frame range and liveness
 //   - Get: full-frame transfer (fetch-and-render-locally); the
@@ -75,16 +75,31 @@
 // BenchmarkFanOut and ServiceStats).
 //
 // The Compute and Kernels verbs belong to the other service type: a
-// Worker hosts named stage kernels (hybrid extraction and field-line
-// tracing are built in: requests and replies travel in pario-idiom
-// CRC-framed encodings), so the pipeline engine can place a stage's
-// per-frame work on another process or host —
-// core.StreamOptions.ExtractAddr/ExtractAddrs wire it in,
-// cmd/vizworker hosts it. Kernels (v4) is the provisioning check: a
-// worker advertises its hosted kernel set, and a Fleet refuses to
-// admit a member that does not host its kernel. A service answers
-// verbs it does not speak with a typed ErrCodeUnknownVerb error and
-// keeps the connection.
+// Worker hosts named stage kernels, so the pipeline engine can place a
+// stage's per-frame work on another process or host. Three kernels are
+// built in, each with pario-idiom CRC-framed request/reply encodings:
+//
+//	kernel             request  reply  wired in by
+//	hybrid.extract.v1  "ACPT"   .achy  core.StreamOptions.ExtractAddr/ExtractAddrs
+//	fieldline.trace.v1 "ACFS"   "ACFR" Client.ComputeTrace / Fleet.ComputeTrace
+//	render.partial.v1  "ACPR"   "ACPB" core.StreamOptions.RenderAddrs (v6)
+//
+// render.partial.v1 is the v6 sort-last kernel: the request carries a
+// sub-volume of a frame's hybrid representation (an octree-partition
+// slice of the leaf-ordered point set) plus camera and transfer-
+// function parameters, the worker renders the point-splat pass with a
+// depth channel clipped to the sub-volume's conservative depth slab,
+// and the reply is a compressed RGBA+depth partial framebuffer
+// ("ACPB", render.AppendPartial). The stream's render stage fans one
+// request per partition across a render fleet and depth-composites
+// the partials (internal/compositor) before the volume ray cast runs
+// over the merged framebuffer — bit-identical to a single-node render
+// at every partition count, worker count, and under mid-frame worker
+// loss. cmd/vizworker hosts all three kernels. Kernels (v4) is the
+// provisioning check: a worker advertises its hosted kernel set, and
+// a Fleet refuses to admit a member that does not host its kernel. A
+// service answers verbs it does not speak with a typed
+// ErrCodeUnknownVerb error and keeps the connection.
 //
 // A Fleet stripes one kernel's requests across N workers with
 // per-member in-flight windows and the robustness machinery the

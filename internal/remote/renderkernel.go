@@ -1,0 +1,260 @@
+package remote
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/hybrid"
+	"repro/internal/render"
+	"repro/internal/vec"
+	"repro/internal/volren"
+)
+
+// KernelRenderPartial is the third built-in kernel (protocol v6): the
+// worker half of sort-last distributed rendering. One contiguous
+// octree-ordered slice of a frame's halo points comes in with the
+// camera and transfer-function parameters; the worker runs the exact
+// local point pass over its sub-volume — splat selection hashed at
+// the slice's global offset, rasterization depth-clipped to the
+// slice's own bounds — and a compressed RGBA+depth partial
+// framebuffer ("ACPB", render.CompressPartial) goes back for the
+// requester's compositor. Compositing every partition's partial
+// reproduces the single-node point pass bit for bit.
+const KernelRenderPartial = "render.partial.v1"
+
+// RenderPartialRequest is one sub-volume render: the inputs a worker
+// needs to reproduce its slice of the frame exactly.
+type RenderPartialRequest struct {
+	Width, Height int      // framebuffer size
+	Seq           int      // partition index in splat submission order
+	Offset        int      // global index of Points[0] in the frame's point order
+	ViewDir       vec.V3   // camera direction (LookAtBounds)
+	PointScale    float64  // splat radius in pixels
+	Opaque        bool     // fully-opaque points (Fig 4 style)
+	Bounds        vec.AABB // the WHOLE frame's bounds — every partition frames the same camera
+	Threshold     float64  // TF parameter: extraction threshold
+	MaxLeafD      float64  // TF parameter: max leaf density
+	Points        []vec.V3
+	Density       []float32 // per-point leaf densities, len == len(Points)
+}
+
+// The render request blob ("ACPR" — accelerator partial render):
+//
+//	magic "ACPR" | u32 version | u32 w | u32 h | u32 seq | i64 offset |
+//	3 f64 viewDir | f64 pointScale | u8 opaque | 6 f64 bounds |
+//	f64 threshold | f64 maxLeafD | i64 n | n × (3 f64) | n × f32 |
+//	u32 crc32 (all preceding bytes)
+//
+// Bounds/threshold/maxLeafD are the three representation fields the
+// camera (render.LookAtBounds) and default TF (hybrid.DefaultTFParams)
+// depend on, so the worker rebuilds both bit-identically without the
+// frame's volume ever crossing the wire.
+
+var magicPartialRender = [4]byte{'A', 'C', 'P', 'R'}
+
+const (
+	partialRenderVersion = 1
+	// renderReqFixed is the blob size without the points: magic,
+	// version, w, h, seq, offset, viewDir, pointScale, opaque flag,
+	// bounds, threshold, maxLeafD, count, crc.
+	renderReqFixed = 4 + 4 + 4 + 4 + 4 + 8 + 3*8 + 8 + 1 + 6*8 + 8 + 8 + 8 + 4
+)
+
+// appendRenderPartialRequest appends the render kernel's request blob.
+func appendRenderPartialRequest(dst []byte, r *RenderPartialRequest) []byte {
+	need := renderReqFixed + 28*len(r.Points)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	le := binary.LittleEndian
+	dst = append(dst, magicPartialRender[:]...)
+	dst = le.AppendUint32(dst, partialRenderVersion)
+	dst = le.AppendUint32(dst, uint32(r.Width))
+	dst = le.AppendUint32(dst, uint32(r.Height))
+	dst = le.AppendUint32(dst, uint32(r.Seq))
+	dst = le.AppendUint64(dst, uint64(int64(r.Offset)))
+	for _, f := range []float64{
+		r.ViewDir.X, r.ViewDir.Y, r.ViewDir.Z, r.PointScale,
+	} {
+		dst = le.AppendUint64(dst, math.Float64bits(f))
+	}
+	if r.Opaque {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	for _, f := range []float64{
+		r.Bounds.Min.X, r.Bounds.Min.Y, r.Bounds.Min.Z,
+		r.Bounds.Max.X, r.Bounds.Max.Y, r.Bounds.Max.Z,
+		r.Threshold, r.MaxLeafD,
+	} {
+		dst = le.AppendUint64(dst, math.Float64bits(f))
+	}
+	dst = le.AppendUint64(dst, uint64(int64(len(r.Points))))
+	for _, p := range r.Points {
+		dst = le.AppendUint64(dst, math.Float64bits(p.X))
+		dst = le.AppendUint64(dst, math.Float64bits(p.Y))
+		dst = le.AppendUint64(dst, math.Float64bits(p.Z))
+	}
+	for _, d := range r.Density {
+		dst = le.AppendUint32(dst, math.Float32bits(d))
+	}
+	return le.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeRenderPartialRequest parses a render request blob, verifying
+// the checksum. Nothing aliases p.
+func decodeRenderPartialRequest(p []byte) (*RenderPartialRequest, error) {
+	le := binary.LittleEndian
+	if len(p) < renderReqFixed {
+		return nil, fmt.Errorf("remote: render request truncated (%d bytes)", len(p))
+	}
+	if [4]byte(p[:4]) != magicPartialRender {
+		return nil, fmt.Errorf("remote: bad partial-render magic %q", p[:4])
+	}
+	if v := le.Uint32(p[4:]); v != partialRenderVersion {
+		return nil, fmt.Errorf("remote: unsupported partial-render version %d", v)
+	}
+	r := &RenderPartialRequest{
+		Width:  int(le.Uint32(p[8:])),
+		Height: int(le.Uint32(p[12:])),
+		Seq:    int(le.Uint32(p[16:])),
+		Offset: int(int64(le.Uint64(p[20:]))),
+	}
+	if r.Width < 1 || r.Height < 1 || r.Width > 4096 || r.Height > 4096 ||
+		r.Width*r.Height > 1<<22 {
+		return nil, fmt.Errorf("remote: implausible render size %dx%d", r.Width, r.Height)
+	}
+	r.ViewDir = vec.New(
+		math.Float64frombits(le.Uint64(p[28:])),
+		math.Float64frombits(le.Uint64(p[36:])),
+		math.Float64frombits(le.Uint64(p[44:])))
+	r.PointScale = math.Float64frombits(le.Uint64(p[52:]))
+	r.Opaque = p[60] != 0
+	r.Bounds = vec.Box(
+		vec.New(
+			math.Float64frombits(le.Uint64(p[61:])),
+			math.Float64frombits(le.Uint64(p[69:])),
+			math.Float64frombits(le.Uint64(p[77:]))),
+		vec.New(
+			math.Float64frombits(le.Uint64(p[85:])),
+			math.Float64frombits(le.Uint64(p[93:])),
+			math.Float64frombits(le.Uint64(p[101:]))))
+	r.Threshold = math.Float64frombits(le.Uint64(p[109:]))
+	r.MaxLeafD = math.Float64frombits(le.Uint64(p[117:]))
+	n := int64(le.Uint64(p[125:]))
+	if n < 0 || n > int64(maxBody)/28 {
+		return nil, fmt.Errorf("remote: implausible render point count %d", n)
+	}
+	if int64(len(p)) != int64(renderReqFixed)+28*n {
+		return nil, fmt.Errorf("remote: render request is %d bytes, want %d for %d points",
+			len(p), int64(renderReqFixed)+28*n, n)
+	}
+	crcOff := len(p) - 4
+	if got, want := le.Uint32(p[crcOff:]), crc32.ChecksumIEEE(p[:crcOff]); got != want {
+		return nil, fmt.Errorf("remote: render request checksum mismatch (wire %08x, computed %08x)", got, want)
+	}
+	r.Points = make([]vec.V3, n)
+	ptsOff := renderReqFixed - 4
+	for i := range r.Points {
+		off := ptsOff + 24*i
+		r.Points[i] = vec.New(
+			math.Float64frombits(le.Uint64(p[off:])),
+			math.Float64frombits(le.Uint64(p[off+8:])),
+			math.Float64frombits(le.Uint64(p[off+16:])))
+	}
+	r.Density = make([]float32, n)
+	denOff := ptsOff + 24*int(n)
+	for i := range r.Density {
+		r.Density[i] = math.Float32frombits(le.Uint32(p[denOff+4*i:]))
+	}
+	return r, nil
+}
+
+// renderPartialKernel is the worker body of KernelRenderPartial: it
+// rebuilds the frame's camera and default transfer function from the
+// shipped parameters, runs the exact local point pass over its slice
+// (selection at the global offset, depth-clipped to the slice's own
+// bounds), and replies with the compressed partial framebuffer.
+func renderPartialKernel() Kernel {
+	return func(ctx context.Context, req []byte) ([]byte, error) {
+		r, err := decodeRenderPartialRequest(req)
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()}
+		}
+		tf, err := hybrid.DefaultTFParams(r.Threshold, r.MaxLeafD)
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()}
+		}
+		cam, err := render.LookAtBounds(r.Bounds, r.ViewDir, math.Pi/3, float64(r.Width)/float64(r.Height))
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fb, err := render.NewFramebuffer(r.Width, r.Height)
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest, Msg: err.Error()}
+		}
+		sub := &hybrid.Representation{Points: r.Points, PointDensity: r.Density}
+		volren.RenderPointPass(sub, tf, fb, cam, r.PointScale, r.Opaque,
+			volren.PointPassOptions{Offset: r.Offset, Clip: true})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return render.AppendPartial(getBytes(0), fb, r.Seq), nil
+	}
+}
+
+// ComputeRender ships one sub-volume render to the worker's
+// render.partial.v1 kernel and decodes the partial framebuffer it
+// sends back — the remote form of the frame's point pass restricted
+// to req's slice, bit-identical to running that slice locally.
+func (c *Client) ComputeRender(ctx context.Context, req *RenderPartialRequest) (*render.PartialFrame, error) {
+	if len(req.Points) != len(req.Density) {
+		return nil, fmt.Errorf("remote: render request has %d points but %d densities", len(req.Points), len(req.Density))
+	}
+	buf, err := appendComputeHeader(getBytes(0), KernelRenderPartial)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendRenderPartialRequest(buf, req)
+	msg, err := c.roundTripCtx(ctx, opCompute, buf)
+	putBytes(buf)
+	if err != nil {
+		return nil, err
+	}
+	if msg.op != opComputeOK {
+		return nil, fmt.Errorf("remote: unexpected compute response %#02x", msg.op)
+	}
+	pf, err := render.DecompressPartial(msg.payload)
+	msg.recycle() // DecompressPartial copies into a fresh framebuffer
+	return pf, err
+}
+
+// ComputeRender is Client.ComputeRender striped over the fleet: the
+// request encodes once, a failed member's sub-volume re-ships the
+// identical bytes to a survivor, and the decoded partial is
+// bit-identical either way — so a composited frame survives worker
+// loss unchanged.
+func (f *Fleet) ComputeRender(ctx context.Context, req *RenderPartialRequest) (*render.PartialFrame, error) {
+	if len(req.Points) != len(req.Density) {
+		return nil, fmt.Errorf("remote: render request has %d points but %d densities", len(req.Points), len(req.Density))
+	}
+	wire := appendRenderPartialRequest(getBytes(0), req)
+	out, err := f.Compute(ctx, wire)
+	putBytes(wire)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := render.DecompressPartial(out)
+	putBytes(out)
+	return pf, err
+}

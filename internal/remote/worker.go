@@ -30,7 +30,7 @@ type Kernel func(ctx context.Context, req []byte) ([]byte, error)
 // orchestration stays with the requester — the paper's split of
 // heavy per-frame compute away from the producing machine. NewWorker
 // registers the built-in kernels (hybrid extraction, field-line
-// tracing); Register adds more. Workers advertise their kernel set
+// tracing, and the v6 sort-last partial render); Register adds more. Workers advertise their kernel set
 // over the v4 Kernels verb, which is how a Fleet verifies a member's
 // provisioning before dispatching frames to it. cmd/vizworker is the
 // CLI host.
@@ -53,6 +53,7 @@ func NewWorker(addr string) (*Worker, error) {
 	w := &Worker{kernels: make(map[string]Kernel)}
 	w.Register(KernelHybridExtract, hybridExtractKernel())
 	w.Register(KernelFieldlineTrace, fieldlineTraceKernel())
+	w.Register(KernelRenderPartial, renderPartialKernel())
 	srv, err := newServer(addr, w.handle)
 	if err != nil {
 		return nil, err

@@ -127,3 +127,38 @@ func (c Camera) PixelRadius(p vec.V3, worldRadius float64, h int) float64 {
 	}
 	return worldRadius / (dist * math.Tan(c.Fovy/2)) * float64(h) / 2
 }
+
+// DepthRange returns a conservative normalized-device depth interval
+// covering every point inside b — the near/far bound of a sort-last
+// sub-volume render pass clipped against an octree cell's box
+// (Rasterizer.ClipNear/ClipFar). View-space z is affine in world
+// position, so its extrema over a box lie at the corners; the corner
+// depths are widened by a relative margin so a point projected through
+// the independent project() path can never round outside the interval.
+// ok is false when any corner reaches the near plane (no bounded
+// interval is safe there) or the box is empty.
+func (c Camera) DepthRange(b vec.AABB) (near, far float32, ok bool) {
+	if b.IsEmpty() {
+		return 0, 0, false
+	}
+	xs := [2]float64{b.Min.X, b.Max.X}
+	ys := [2]float64{b.Min.Y, b.Max.Y}
+	zs := [2]float64{b.Min.Z, b.Max.Z}
+	dMin, dMax := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 8; i++ {
+		p := vec.New(xs[i&1], ys[(i>>1)&1], zs[(i>>2)&1])
+		vz := c.ViewZ(p)
+		if vz >= -c.Near {
+			return 0, 0, false
+		}
+		d := c.NDCDepth(vz)
+		if d < dMin {
+			dMin = d
+		}
+		if d > dMax {
+			dMax = d
+		}
+	}
+	pad := (math.Abs(dMin)+math.Abs(dMax)+(dMax-dMin))*1e-6 + 1e-12
+	return float32(dMin - pad), float32(dMax + pad), true
+}

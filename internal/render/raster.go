@@ -54,6 +54,17 @@ type Rasterizer struct {
 	DepthWrite bool
 	Shade      Shader
 
+	// ClipDepth, when true, restricts the pass to fragments whose
+	// projected depth lies inside [ClipNear, ClipFar] (inclusive, the
+	// normalized-device depth stored in the depth buffer). Fragments
+	// outside the slab are dropped before counting, exactly like
+	// off-screen culling. This bounds a pass to a depth interval — the
+	// sort-last sub-volume render, where each worker draws one octree
+	// cell's contents clipped against the cell's depth range (see
+	// Camera.DepthRange for a conservative interval).
+	ClipDepth         bool
+	ClipNear, ClipFar float32
+
 	// Workers bounds the tile parallelism of the batched draw path
 	// (0 = par.Workers()). The image is identical at every count.
 	Workers int
@@ -85,13 +96,17 @@ type emitCtx struct {
 }
 
 // emit routes one in-rect fragment through the optional sink, then the
-// framebuffer. Fragments outside the rect are dropped before counting.
+// framebuffer. Fragments outside the rect — or outside the depth slab
+// when ClipDepth is set — are dropped before counting.
 func (e *emitCtx) emit(x, y int, depth float32, c hybrid.RGBA) {
 	if x < e.x0 || x > e.x1 || y < e.y0 || y > e.y1 {
 		return
 	}
-	e.frags++
 	r := e.r
+	if r.ClipDepth && (depth < r.ClipNear || depth > r.ClipFar) {
+		return
+	}
+	e.frags++
 	if r.fragmentSink != nil && r.fragmentSink.sinkFragment(e.shard, x, y, depth, c) {
 		return
 	}
@@ -188,6 +203,12 @@ func (r *Rasterizer) setupPoint(p vec.V3, pixelRadius float64, c hybrid.RGBA, s 
 // state hoisted out of the pixel loop; the values stored are exactly
 // those the generic emit path would produce, fragment for fragment.
 func rasterPoint(s *pointSetup, e *emitCtx) {
+	// A splat's fragments share one depth, so the depth slab accepts or
+	// rejects it whole — checked here so the fast loops below need no
+	// per-fragment clip test.
+	if e.r.ClipDepth && (s.depth < e.r.ClipNear || s.depth > e.r.ClipFar) {
+		return
+	}
 	x0, y0, x1, y1 := s.x0, s.y0, s.x1, s.y1
 	if x0 < e.x0 {
 		x0 = e.x0

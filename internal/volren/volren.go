@@ -232,19 +232,47 @@ func RenderHybridDynamic(rep *hybrid.Representation, tf *hybrid.LinkedTF,
 	return rast, vr, nil
 }
 
-// RenderHybrid renders a hybrid representation exactly as the paper's
-// viewer does: the halo points selected by the point transfer function
-// are drawn first as depth-writing splats, then the density volume is
-// ray-cast in front of and behind them (§2.4, Fig 4). pointSize is the
-// splat radius in pixels; opaquePoints matches Fig 4's "points shown
-// here are completely opaque" mode, otherwise points modulate alpha by
-// their leaf density through the color map.
-func RenderHybrid(rep *hybrid.Representation, tf *hybrid.LinkedTF,
-	fb *render.Framebuffer, cam render.Camera, pointSize float64, opaquePoints bool) (*render.Rasterizer, *Renderer, error) {
+// PointPassOptions bounds a halo-point pass to a sub-range of a
+// frame's points — the worker-side render of the sort-last
+// distributed path, where each fleet member draws one contiguous
+// octree-ordered slice of the frame's point set.
+type PointPassOptions struct {
+	// Offset is the global index of the pass's first point: point
+	// selection hashes global indices (SelectPointsOffset), so a
+	// sub-range pass draws exactly the points the whole frame's pass
+	// would draw from that range.
+	Offset int
+	// Clip bounds the pass to the depth slab of the points' own
+	// bounding box (Camera.DepthRange over the sub-volume), the IceT
+	// sort-last idiom: a partition can never write outside its depth
+	// interval. The interval is conservative, so clipping changes no
+	// pixel of a pass that only draws its own points.
+	Clip bool
+}
+
+// RenderPointPass draws the halo-point half of RenderHybrid — the
+// depth-writing opaque splats selected by the point transfer function
+// — and returns the rasterizer holding the pass stats. The volume
+// pass is not run; rep.Volume may be nil. Splitting a frame's points
+// into contiguous sub-ranges and running one pass per range (each at
+// its global Offset) writes, across all partial framebuffers, exactly
+// the fragments the undivided pass writes.
+func RenderPointPass(rep *hybrid.Representation, tf *hybrid.LinkedTF,
+	fb *render.Framebuffer, cam render.Camera, pointSize float64, opaquePoints bool,
+	opt PointPassOptions) *render.Rasterizer {
 
 	rast := render.NewRasterizer(fb, cam)
 	rast.Mode = render.BlendOpaque
-	sel := rep.SelectPoints(tf)
+	if opt.Clip && len(rep.Points) > 0 {
+		box := vec.Empty()
+		for _, p := range rep.Points {
+			box = box.ExtendPoint(p)
+		}
+		if near, far, ok := cam.DepthRange(box); ok {
+			rast.ClipDepth, rast.ClipNear, rast.ClipFar = true, near, far
+		}
+	}
+	sel := rep.SelectPointsOffset(tf, opt.Offset)
 	// The halo points go through the tile-binned parallel backend: the
 	// splat batch is projected, binned and rasterized on all cores with
 	// output bit-identical to serial DrawPoint calls in this order.
@@ -260,6 +288,20 @@ func RenderHybrid(rep *hybrid.Representation, tf *hybrid.LinkedTF,
 		splats[k] = render.PointSplat{Pos: rep.Points[i], Radius: pointSize, Color: c}
 	}
 	rast.DrawPointBatch(splats)
+	return rast
+}
+
+// RenderHybrid renders a hybrid representation exactly as the paper's
+// viewer does: the halo points selected by the point transfer function
+// are drawn first as depth-writing splats, then the density volume is
+// ray-cast in front of and behind them (§2.4, Fig 4). pointSize is the
+// splat radius in pixels; opaquePoints matches Fig 4's "points shown
+// here are completely opaque" mode, otherwise points modulate alpha by
+// their leaf density through the color map.
+func RenderHybrid(rep *hybrid.Representation, tf *hybrid.LinkedTF,
+	fb *render.Framebuffer, cam render.Camera, pointSize float64, opaquePoints bool) (*render.Rasterizer, *Renderer, error) {
+
+	rast := RenderPointPass(rep, tf, fb, cam, pointSize, opaquePoints, PointPassOptions{})
 
 	vr, err := New(rep.Volume, tf)
 	if err != nil {

@@ -272,6 +272,36 @@ func printStats(addr string, r remote.StatsReport) {
 		}
 		fmt.Println(line)
 	}
+	if len(r.Pipeline) == 0 {
+		return
+	}
+	fmt.Printf("pipeline (%d stages, * = critical path):\n", len(r.Pipeline))
+	for _, st := range r.Pipeline {
+		mark := " "
+		if st.Critical {
+			mark = "*"
+		}
+		workers := fmt.Sprintf("%d", st.Workers)
+		if st.Resizable {
+			workers = fmt.Sprintf("%d [%d..%d]", st.Workers, st.MinWorkers, st.MaxWorkers)
+		}
+		line := fmt.Sprintf("  %s %-12s %-6s  workers %-10s util %3.0f%%  recv %3.0f%%  send %3.0f%%  inflight %d  done %d  svc %v  %.1f/s",
+			mark, st.Name, st.Kind, workers,
+			100*st.Utilization, 100*st.RecvWait, 100*st.SendWait,
+			st.InFlight, st.Done, st.ServiceEWMA.Round(time.Microsecond), st.Throughput)
+		if st.Placeable {
+			side := "local"
+			if st.Remote {
+				side = "remote"
+			}
+			line += fmt.Sprintf("  placed %s (local %v, remote %v, fallbacks %d)",
+				side, st.LocalEWMA.Round(time.Microsecond), st.RemoteEWMA.Round(time.Microsecond), st.Fallbacks)
+		}
+		if st.Finished {
+			line += "  finished"
+		}
+		fmt.Println(line)
+	}
 }
 
 func writePNG(write func(string) error, path string) {

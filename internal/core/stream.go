@@ -121,6 +121,38 @@ func (x *remoteExtractExecutor) Apply(ctx context.Context, r StreamResult) (Stre
 	return r, nil
 }
 
+// localExtractExecutor fuses the partition+extract pair into one
+// in-process executor — the local twin of remoteExtractExecutor,
+// computing bit-identical hybrid representations for the same configs.
+// It is the home side of a placement-switchable extract stage: the
+// balancer flips frames between this and the fleet executor at frame
+// boundaries without the output changing by a byte.
+type localExtractExecutor struct {
+	p          *ParticlePipeline
+	proj       *pipeline.SlicePool[vec.V3]
+	keepFrames bool
+}
+
+// Apply implements pipeline.StageExecutor.
+func (x *localExtractExecutor) Apply(_ context.Context, r StreamResult) (StreamResult, error) {
+	pts := x.proj.Get(r.Frame.E.Len())
+	x.p.project(r.Frame.E, *pts)
+	t, err := octree.Build(*pts, x.p.Tree)
+	x.proj.Put(pts)
+	if err != nil {
+		return r, fmt.Errorf("frame %d: %w", r.Index, err)
+	}
+	rep, err := hybrid.Extract(t, x.p.Extract)
+	if err != nil {
+		return r, fmt.Errorf("frame %d: %w", r.Index, err)
+	}
+	r.Rep = rep
+	if !x.keepFrames {
+		r.Frame.E = nil
+	}
+	return r, nil
+}
+
 // RenderOptions appends a render stage to a particle stream. Each
 // frame's point pass runs on the tile-binned parallel rasterizer, so
 // the stage parallelizes along two axes: Workers concurrent frames,
@@ -240,6 +272,35 @@ type StreamOptions struct {
 	// owned by the stream (always render.partial.v1; the window is
 	// Render.Workers). nil means defaults.
 	RenderPolicy *remote.FleetOptions
+
+	// Balance, when non-nil, runs the stream self-balancing: the
+	// compute stages (partition, extract, local render) become elastic
+	// and a pipeline.Balancer periodically moves workers from
+	// over-provisioned stages to the measured bottleneck within a
+	// global budget (default: the sum of the configured worker
+	// counts). The configured PartitionWorkers/ExtractWorkers/
+	// Render.Workers become starting points instead of a contract.
+	// When extract addresses are also set, extraction runs a
+	// placement-switchable stage: it starts on the local fused
+	// partition+extract executor and the balancer flips it to the
+	// fleet when the local side saturates (and back when the remote
+	// path degrades), always at a frame boundary. Output order and
+	// content are unchanged by any rebalance or flip — results stay
+	// bit-identical to the serial path.
+	Balance *BalanceOptions
+}
+
+// BalanceOptions tunes a self-balancing stream. The embedded
+// pipeline.BalancerOptions zero value gives the default thresholds and
+// cadence; Budget 0 means the sum of the stream's configured worker
+// counts across elastic stages.
+type BalanceOptions struct {
+	pipeline.BalancerOptions
+
+	// MaxStageWorkers caps any single elastic stage (0 = the worker
+	// budget, letting one stage absorb the whole budget if the
+	// measurements call for it).
+	MaxStageWorkers int
 }
 
 // StreamResult is the per-frame output of StreamFrames, emitted in
@@ -256,9 +317,16 @@ type StreamResult struct {
 
 // ParticleStream is a running particle frame stream: range over Out
 // (frames arrive in order), then Wait; Cancel aborts mid-frame.
+// Snapshot (via the embedded Stream) exposes the per-stage telemetry
+// table; Balancer is non-nil when StreamOptions.Balance was set.
 type ParticleStream struct {
 	*pipeline.Stream[StreamResult]
 	fbs *pipeline.FreeList[*render.Framebuffer]
+
+	// Balancer is the stream's self-balancing loop (nil unless
+	// StreamOptions.Balance): its Decisions method is the audit log of
+	// every rebalance and placement flip applied to this stream.
+	Balancer *pipeline.Balancer
 }
 
 // RecycleFB returns a rendered framebuffer to the stream's free list
@@ -312,6 +380,52 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 	if buf < 1 {
 		buf = 1
 	}
+	// Resolve the documented worker defaults (0 = 1) here — the
+	// pipeline engine rejects Workers <= 0 rather than guessing.
+	partW := workersOr1(opts.PartitionWorkers)
+	extW := workersOr1(opts.ExtractWorkers)
+	renderW := 1
+	if opts.Render != nil {
+		renderW = workersOr1(opts.Render.Workers)
+	}
+
+	// Self-balancing bounds: the elastic stages share a worker budget
+	// (default: the sum of their configured counts) and each may grow
+	// to maxStage. The starting counts must sit inside the bounds, so
+	// maxStage never drops below a configured count.
+	var budget, maxStage int
+	if opts.Balance != nil {
+		if len(addrs) > 0 {
+			budget = extW
+		} else {
+			budget = partW
+			if !opts.SkipExtract {
+				budget += extW
+			}
+		}
+		if opts.Render != nil && len(opts.RenderAddrs) == 0 {
+			budget += renderW
+		}
+		if opts.Balance.Budget > budget {
+			budget = opts.Balance.Budget
+		}
+		maxStage = opts.Balance.MaxStageWorkers
+		if maxStage <= 0 {
+			maxStage = budget
+		}
+		for _, w := range []int{partW, extW, renderW} {
+			if w > maxStage {
+				maxStage = w
+			}
+		}
+	}
+	elastic := func(cfg pipeline.StageConfig) pipeline.StageConfig {
+		if opts.Balance != nil {
+			cfg.MinWorkers = 1
+			cfg.MaxWorkers = maxStage
+		}
+		return cfg
+	}
 
 	// Build the worker fleet before starting any stage goroutine, so a
 	// bad address or a mis-provisioned worker fails the stream without
@@ -324,9 +438,12 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 			fo = *opts.ExtractPolicy
 		}
 		fo.Kernel = remote.KernelHybridExtract
-		fo.Window = opts.ExtractWorkers
-		if fo.Window < 1 {
-			fo.Window = 1
+		fo.Window = extW
+		if opts.Balance != nil {
+			// The balancer may grow the switchable stage past its
+			// starting count; size the per-member window to the stage's
+			// ceiling so growth is not throttled at the fleet layer.
+			fo.Window = maxStage
 		}
 		fl, err := remote.NewFleet(addrs, fo)
 		if err != nil {
@@ -369,7 +486,20 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 
 	proj := pipeline.NewSlicePool[vec.V3]()
 	var out <-chan StreamResult
-	if fleet != nil {
+	switch {
+	case fleet != nil && opts.Balance != nil:
+		// Placement-switchable extraction: the stage starts on the
+		// local fused partition+extract executor and the balancer may
+		// flip it to the fleet at a frame boundary when the local side
+		// saturates (and back when the remote path degrades). Both
+		// sides compute bit-identical representations, and the stage
+		// reorderer is shared, so flips are invisible in the output.
+		sw := pipeline.NewSwitchExec[StreamResult, StreamResult](
+			&localExtractExecutor{p: p, proj: proj, keepFrames: opts.KeepFrames},
+			&remoteExtractExecutor{fl: fleet, p: p, proj: proj, keepFrames: opts.KeepFrames})
+		out = pipeline.MapExec(pl, frames,
+			elastic(pipeline.StageConfig{Name: "extract", Workers: extW, Buf: buf}), sw)
+	case fleet != nil:
 		// Distributed placement: partition+extract fuse into one stage
 		// whose executor ships each frame's projected point set to the
 		// fleet and gets the hybrid representation back. ExtractWorkers
@@ -381,19 +511,15 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 		// the MapExec reorderer restores frame order exactly as it does
 		// for the in-process pool, so fleet failover never reorders
 		// output.
-		window := opts.ExtractWorkers
-		if window < 1 {
-			window = 1
-		}
 		out = pipeline.MapExec(pl, frames,
-			pipeline.StageConfig{Name: "extract@" + strings.Join(addrs, ","), Workers: window * len(addrs), Buf: buf},
+			pipeline.StageConfig{Name: "extract@" + strings.Join(addrs, ","), Workers: extW * len(addrs), Buf: buf},
 			&remoteExtractExecutor{fl: fleet, p: p, proj: proj, keepFrames: opts.KeepFrames})
-	} else {
+	default:
 		// Partition: project the frame onto the pipeline's axes into a
 		// recycled scratch buffer (octree.Build copies what it keeps),
 		// then build the tree.
 		trees := pipeline.Map(pl, frames,
-			pipeline.StageConfig{Name: "partition", Workers: opts.PartitionWorkers, Buf: buf},
+			elastic(pipeline.StageConfig{Name: "partition", Workers: partW, Buf: buf}),
 			func(_ context.Context, r StreamResult) (StreamResult, error) {
 				pts := proj.Get(r.Frame.E.Len())
 				p.project(r.Frame.E, *pts)
@@ -412,7 +538,7 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 		out = trees
 		if !opts.SkipExtract {
 			out = pipeline.Map(pl, out,
-				pipeline.StageConfig{Name: "extract", Workers: opts.ExtractWorkers, Buf: buf},
+				elastic(pipeline.StageConfig{Name: "extract", Workers: extW, Buf: buf}),
 				func(_ context.Context, r StreamResult) (StreamResult, error) {
 					rep, err := hybrid.Extract(r.Tree, p.Extract)
 					if err != nil {
@@ -431,7 +557,7 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 		// Single worker: publishes land in frame order, which live
 		// stores (remote.LiveRing) require.
 		out = pipeline.Map(pl, out,
-			pipeline.StageConfig{Name: "publish", Buf: buf},
+			pipeline.StageConfig{Name: "publish", Workers: 1, Buf: buf},
 			func(_ context.Context, r StreamResult) (StreamResult, error) {
 				if err := opts.Sink.Publish(r.Index, r.Rep); err != nil {
 					return r, fmt.Errorf("frame %d: %w", r.Index, err)
@@ -463,7 +589,7 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 			}
 			fl := renderFleet
 			out = pipeline.Map(pl, out,
-				pipeline.StageConfig{Name: "render@" + strings.Join(opts.RenderAddrs, ","), Workers: ro.Workers, Buf: buf},
+				pipeline.StageConfig{Name: "render@" + strings.Join(opts.RenderAddrs, ","), Workers: renderW, Buf: buf},
 				func(ctx context.Context, r StreamResult) (StreamResult, error) {
 					fb := s.fbs.Get()
 					fb.Clear(hybrid.RGBA{})
@@ -478,7 +604,7 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 		} else {
 			aspect := float64(ro.Width) / float64(ro.Height)
 			out = pipeline.Map(pl, out,
-				pipeline.StageConfig{Name: "render", Workers: ro.Workers, Buf: buf},
+				elastic(pipeline.StageConfig{Name: "render", Workers: renderW, Buf: buf}),
 				func(_ context.Context, r StreamResult) (StreamResult, error) {
 					tf, err := DefaultTF(r.Rep)
 					if err != nil {
@@ -500,8 +626,24 @@ func (p *ParticlePipeline) StreamFrames(ctx context.Context, src FrameSource, op
 				})
 		}
 	}
+	if opts.Balance != nil {
+		bo := opts.Balance.BalancerOptions
+		if bo.Budget <= 0 {
+			bo.Budget = budget
+		}
+		s.Balancer = pl.StartBalancer(bo)
+	}
 	s.Stream = pipeline.NewStream(pl, out)
 	return s
+}
+
+// workersOr1 resolves the core façade's documented worker default: a
+// zero or negative stage worker count means one worker.
+func workersOr1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // project fills dst with the ensemble's points projected onto the
@@ -602,7 +744,7 @@ func (p *FieldPipeline) StreamSolve(ctx context.Context, opts FieldStreamOptions
 	})
 
 	lines := pipeline.Map(pl, frames,
-		pipeline.StageConfig{Name: "trace", Workers: opts.TraceWorkers, Buf: buf},
+		pipeline.StageConfig{Name: "trace", Workers: workersOr1(opts.TraceWorkers), Buf: buf},
 		func(_ context.Context, r FieldStreamResult) (FieldStreamResult, error) {
 			res, err := p.TraceE(r.Frame)
 			if err != nil {
@@ -625,7 +767,7 @@ func (p *FieldPipeline) StreamSolve(ctx context.Context, opts FieldStreamOptions
 		}
 		bounds := p.mesh.Bounds
 		out = pipeline.Map(pl, out,
-			pipeline.StageConfig{Name: "publish", Buf: buf},
+			pipeline.StageConfig{Name: "publish", Workers: 1, Buf: buf},
 			func(_ context.Context, r FieldStreamResult) (FieldStreamResult, error) {
 				results := []*seeding.Result{r.E}
 				if r.B != nil {
@@ -644,7 +786,7 @@ func (p *FieldPipeline) StreamSolve(ctx context.Context, opts FieldStreamOptions
 	if opts.Render != nil {
 		ro := opts.Render.withDefaults()
 		out = pipeline.Map(pl, out,
-			pipeline.StageConfig{Name: "render", Workers: ro.Workers, Buf: buf},
+			pipeline.StageConfig{Name: "render", Workers: workersOr1(ro.Workers), Buf: buf},
 			func(_ context.Context, r FieldStreamResult) (FieldStreamResult, error) {
 				fb, st, err := p.RenderLines(r.E.Lines, ro.Technique, ro.Width, ro.Height, ro.ViewDir)
 				if err != nil {

@@ -1,10 +1,12 @@
 package par
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestForVisitsEveryIndexOnce(t *testing.T) {
@@ -211,5 +213,81 @@ func TestSlabsDegenerate(t *testing.T) {
 func TestWorkersPositive(t *testing.T) {
 	if Workers() < 1 {
 		t.Errorf("Workers() = %d", Workers())
+	}
+}
+
+// TestPoolResizeUnderLoad pins the live-resize contract: a pool can
+// grow and shrink while tasks are flowing, every submitted task still
+// runs exactly once, and no worker goroutine outlives Close.
+func TestPoolResizeUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(2, 4)
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			p.Submit(func() {
+				time.Sleep(50 * time.Microsecond)
+				ran.Add(1)
+			})
+		}
+	}()
+	sizes := []int{8, 1, 6, 2, 12, 1, 4}
+	for _, n := range sizes {
+		if got := p.Resize(n); got != n {
+			t.Fatalf("Resize(%d) applied %d", n, got)
+		}
+		if got := p.Size(); got != n {
+			t.Fatalf("Size() = %d after Resize(%d)", got, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-done
+	p.Close()
+	if got := ran.Load(); got != 400 {
+		t.Fatalf("%d of 400 tasks ran across resizes", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestPoolResizeShrinkRetiresIdleWorkers proves a shrink takes effect
+// without requiring new task traffic: idle workers are nudged awake
+// and retire, observable as the goroutine count dropping.
+func TestPoolResizeShrinkRetiresIdleWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(16, 16)
+	defer p.Close()
+	p.Resize(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		// base counts the test goroutine; allow the 1 surviving worker.
+		if runtime.NumGoroutine() <= base+1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("idle workers did not retire: %d goroutines (base %d)", runtime.NumGoroutine(), base)
+}
+
+// TestPoolResizeClampsAndSurvivesClose pins the edges: Resize(0) means
+// one worker, and Resize after Close is a harmless no-op.
+func TestPoolResizeClampsAndSurvivesClose(t *testing.T) {
+	p := NewPool(2, 2)
+	if got := p.Resize(0); got != 1 {
+		t.Errorf("Resize(0) applied %d, want 1", got)
+	}
+	p.Close()
+	if got := p.Resize(8); got != 1 {
+		t.Errorf("Resize after Close applied %d, want unchanged 1", got)
 	}
 }

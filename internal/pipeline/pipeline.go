@@ -34,12 +34,48 @@
 // error and cancels the shared context; every blocked send, receive
 // and generator observes the cancellation and unwinds, so Wait returns
 // promptly with no goroutine left behind.
+//
+// # Stage sizing and defaults
+//
+// StageConfig.Workers is mandatory and must be >= 1 — a zero config no
+// longer silently runs one worker; Map/MapExec fail the pipeline on an
+// invalid config (Workers <= 0, negative Buf, MaxWorkers < MinWorkers,
+// or a starting Workers outside the bounds). Buf defaults to Workers.
+// MinWorkers/MaxWorkers both zero pins the stage; MaxWorkers > 0 makes
+// it elastic (MinWorkers 0 then means 1).
+//
+// # Telemetry & balancing
+//
+// Every stage feeds a lock-cheap StageMetrics block: per-frame service
+// time (cumulative + EWMA), queue-wait split into input-recv and
+// output-send blocking, in-flight and completed counts.
+// Pipeline.Snapshot diffs those counters since the previous call into
+// a []StageSnapshot table in chain order — per stage: worker count and
+// bounds, windowed throughput (frames/s), utilization (busy
+// worker-time fraction; for a Source, 1 − send-wait), RecvWait /
+// SendWait fractions, placement side and per-side EWMAs — and marks
+// the critical-path stage (highest utilization × (1 − RecvWait), ties
+// toward the front of the chain).
+//
+// A Balancer (balancer.go) polls Snapshot on an interval and, with
+// hysteresis, moves workers from over-provisioned elastic stages to
+// the critical stage within a global budget via SetStageWorkers — the
+// par.Pool under each stage grows and shrinks its worker loop live at
+// task boundaries, so re-sequencing (and therefore output order and
+// bit-identity) is untouched. When a stage runs a SwitchExec
+// (switch.go), the balancer can also flip it between its local and
+// remote executor at a frame boundary via SetStagePlacement: remote
+// when the local side saturates and workers can't grow, back home when
+// the remote path degrades. Every decision is a pure function of the
+// snapshot sequence, so tests can replay snapshots and assert the
+// exact moves.
 package pipeline
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/par"
 )
@@ -57,6 +93,14 @@ type Pipeline struct {
 	resolved bool // Wait has fixed the final error
 	cleanups []func()
 
+	// Telemetry (metrics.go): stage metrics blocks in chain order, the
+	// cumulative counters at the previous Snapshot, and the snapshot
+	// window anchors.
+	stages   []*StageMetrics
+	lastCum  []stageCum
+	lastSnap time.Time
+	created  time.Time
+
 	cleanupOnce sync.Once
 }
 
@@ -67,7 +111,7 @@ func New(ctx context.Context) *Pipeline {
 		ctx = context.Background()
 	}
 	ctx, cancel := context.WithCancel(ctx)
-	return &Pipeline{ctx: ctx, cancel: cancel}
+	return &Pipeline{ctx: ctx, cancel: cancel, created: time.Now()}
 }
 
 // Context returns the pipeline's context; stage functions receive it
@@ -169,25 +213,79 @@ func recv[T any](ctx context.Context, ch <-chan T) (v T, ok bool) {
 	}
 }
 
-// StageConfig sizes one stage.
+// StageConfig sizes one stage. Workers must be explicit and >= 1 —
+// the engine no longer silently picks a worker count for a zero
+// config. Defaults for the optional fields: Buf 0 means Workers;
+// MinWorkers/MaxWorkers both 0 means a fixed stage. Setting
+// MaxWorkers > 0 makes the stage elastic: the balancer (or
+// Pipeline.SetStageWorkers) may move it anywhere in
+// [max(MinWorkers,1), MaxWorkers] live, and Workers — the starting
+// count — must lie inside those bounds. An invalid config fails the
+// pipeline at construction.
 type StageConfig struct {
-	Name    string // used in error messages
-	Workers int    // concurrent applications of the stage body (0 or <0 = 1)
+	Name    string // used in error messages and the snapshot table
+	Workers int    // initial concurrent applications of the stage body (>= 1)
 	Buf     int    // output channel capacity (0 = Workers)
-}
 
-func (c StageConfig) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	return 1
+	// Rebalance bounds. MaxWorkers > 0 marks the stage elastic;
+	// MinWorkers 0 then means 1. MaxWorkers 0 pins the stage at
+	// Workers.
+	MinWorkers int
+	MaxWorkers int
 }
 
 func (c StageConfig) buf() int {
 	if c.Buf > 0 {
 		return c.Buf
 	}
-	return c.workers()
+	return c.Workers
+}
+
+func (c StageConfig) minWorkers() int {
+	if c.MinWorkers > 0 {
+		return c.MinWorkers
+	}
+	return 1
+}
+
+func (c StageConfig) maxWorkers() int {
+	if c.MaxWorkers > 0 {
+		return c.MaxWorkers
+	}
+	return c.Workers
+}
+
+// validate rejects configs the engine used to paper over: a missing
+// worker count, inverted rebalance bounds, or a starting count outside
+// them.
+func (c StageConfig) validate() error {
+	name := c.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("pipeline: stage %s: Workers must be >= 1, got %d", name, c.Workers)
+	}
+	if c.Buf < 0 {
+		return fmt.Errorf("pipeline: stage %s: Buf must be >= 0, got %d", name, c.Buf)
+	}
+	if c.MinWorkers < 0 {
+		return fmt.Errorf("pipeline: stage %s: MinWorkers must be >= 0, got %d", name, c.MinWorkers)
+	}
+	if c.MaxWorkers < 0 {
+		return fmt.Errorf("pipeline: stage %s: MaxWorkers must be >= 0, got %d", name, c.MaxWorkers)
+	}
+	if c.MaxWorkers > 0 {
+		if c.MaxWorkers < c.minWorkers() {
+			return fmt.Errorf("pipeline: stage %s: MaxWorkers %d < MinWorkers %d", name, c.MaxWorkers, c.minWorkers())
+		}
+		if c.Workers < c.minWorkers() || c.Workers > c.MaxWorkers {
+			return fmt.Errorf("pipeline: stage %s: Workers %d outside [%d, %d]", name, c.Workers, c.minWorkers(), c.MaxWorkers)
+		}
+	} else if c.MinWorkers > 0 {
+		return fmt.Errorf("pipeline: stage %s: MinWorkers %d set without MaxWorkers", name, c.MinWorkers)
+	}
+	return nil
 }
 
 // stageError wraps a stage body failure with the stage's name.
@@ -208,9 +306,19 @@ func Source[T any](p *Pipeline, buf int, gen func(ctx context.Context, emit func
 		buf = 1
 	}
 	out := make(chan T, buf)
+	m := p.newStage("source", KindSource, 1, 0, 0)
 	p.go_(func() {
 		defer close(out)
-		emit := func(v T) bool { return send(p.ctx, out, v) }
+		defer m.finished.Store(true)
+		emit := func(v T) bool {
+			t0 := nowNanos()
+			ok := send(p.ctx, out, v)
+			m.sendWaitNS.Add(nowNanos() - t0)
+			if ok {
+				m.done.Add(1)
+			}
+			return ok
+		}
 		if err := gen(p.ctx, emit); err != nil && p.ctx.Err() == nil {
 			p.fail(stageError("source", err))
 		}
@@ -272,12 +380,28 @@ func Map[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, fn func(ctx contex
 // machinery (ordering, backpressure, cancellation) is identical
 // whether ex runs the body in-process or on a remote worker.
 func MapExec[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, ex StageExecutor[I, O]) <-chan O {
-	workers := cfg.workers()
+	if err := cfg.validate(); err != nil {
+		p.fail(err)
+		out := make(chan O)
+		close(out)
+		return out
+	}
+	workers := cfg.Workers
+	maxW := cfg.maxWorkers()
+	m := p.newStage(cfg.Name, KindMap, workers, cfg.minWorkers(), maxW)
+	if pe, ok := ex.(PlacementExec); ok {
+		m.place = pe
+	}
 	out := make(chan O, cfg.buf())
-	// Results are buffered to workers+buf so a worker never blocks on a
-	// reorderer that is itself blocked downstream holding earlier seqs.
-	results := make(chan seqItem[O], workers+cfg.buf())
-	pool := par.NewPool(workers, workers)
+	// Results and the pool queue are buffered to maxWorkers+buf so a
+	// worker never blocks on a reorderer that is itself blocked
+	// downstream holding earlier seqs — even after the stage grows to
+	// its full bound.
+	results := make(chan seqItem[O], maxW+cfg.buf())
+	pool := par.NewPool(workers, maxW+cfg.buf())
+	if cfg.MaxWorkers > 0 {
+		m.resize = func(n int) { pool.Resize(n) }
+	}
 
 	// Dispatcher: tag inputs with sequence numbers and submit to the
 	// pool. Submit blocking on a full queue is the stage's backpressure.
@@ -286,24 +410,33 @@ func MapExec[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, ex StageExecut
 		defer pool.Close()
 		var seq int64
 		for {
+			t0 := nowNanos()
 			v, ok := recv(p.ctx, in)
+			m.recvWaitNS.Add(nowNanos() - t0)
 			if !ok {
 				return
 			}
 			s := seq
 			seq++
+			m.inFlight.Add(1)
 			pool.Submit(func() {
 				if p.ctx.Err() != nil {
+					m.inFlight.Add(-1)
 					return
 				}
+				t1 := nowNanos()
 				o, err := ex.Apply(p.ctx, v)
+				m.noteService(nowNanos()-t1, err == nil)
 				if err != nil {
+					m.inFlight.Add(-1)
 					if p.ctx.Err() == nil {
 						p.fail(stageError(cfg.Name, err))
 					}
 					return
 				}
-				send(p.ctx, results, seqItem[O]{s, o})
+				if !send(p.ctx, results, seqItem[O]{s, o}) {
+					m.inFlight.Add(-1)
+				}
 			})
 		}
 	})
@@ -311,8 +444,9 @@ func MapExec[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, ex StageExecut
 	// Reorderer: emit results in sequence order.
 	p.go_(func() {
 		defer close(out)
+		defer m.finished.Store(true)
 		next := int64(0)
-		pending := make(map[int64]O, workers)
+		pending := make(map[int64]O, maxW)
 		for r := range results {
 			pending[r.seq] = r.val
 			for {
@@ -321,7 +455,11 @@ func MapExec[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, ex StageExecut
 					break
 				}
 				delete(pending, next)
-				if !send(p.ctx, out, v) {
+				t0 := nowNanos()
+				ok = send(p.ctx, out, v)
+				m.sendWaitNS.Add(nowNanos() - t0)
+				m.inFlight.Add(-1)
+				if !ok {
 					return
 				}
 				next++
@@ -336,13 +474,20 @@ func MapExec[I, O any](p *Pipeline, in <-chan I, cfg StageConfig, ex StageExecut
 // fails the pipeline. Use it for ordered writers at the end of a
 // chain.
 func Sink[T any](p *Pipeline, in <-chan T, name string, fn func(ctx context.Context, v T) error) {
+	m := p.newStage(name, KindSink, 1, 0, 0)
 	p.go_(func() {
+		defer m.finished.Store(true)
 		for {
+			t0 := nowNanos()
 			v, ok := recv(p.ctx, in)
+			m.recvWaitNS.Add(nowNanos() - t0)
 			if !ok {
 				return
 			}
-			if err := fn(p.ctx, v); err != nil {
+			t1 := nowNanos()
+			err := fn(p.ctx, v)
+			m.noteService(nowNanos()-t1, err == nil)
+			if err != nil {
 				if p.ctx.Err() == nil {
 					p.fail(stageError(name, err))
 				}
@@ -387,3 +532,12 @@ func (s *Stream[T]) Wait() error {
 // Cancel aborts the stream; Wait then returns context.Canceled unless
 // a stage failed first.
 func (s *Stream[T]) Cancel() { s.p.Cancel() }
+
+// Snapshot returns the underlying pipeline's per-stage telemetry table
+// (see Pipeline.Snapshot) — the hook a service publishes through the
+// Stats verb.
+func (s *Stream[T]) Snapshot() []StageSnapshot { return s.p.Snapshot() }
+
+// Pipeline exposes the underlying pipeline for balancer control and
+// Defer hooks.
+func (s *Stream[T]) Pipeline() *Pipeline { return s.p }

@@ -33,6 +33,12 @@ type RetryPolicy struct {
 	// concurrent frames after one shared failure. 0 means the default
 	// 0.5; negative disables jitter.
 	Jitter float64
+	// Seed seeds the policy's private jitter RNG. Every Retry call
+	// derives its own rand.Rand from it — the package-global math/rand
+	// stream is never consulted — so retry timing is reproducible run
+	// to run and failover tests need no sleeps to line up under -race.
+	// 0 means the fixed default seed 1.
+	Seed int64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -53,15 +59,25 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// seed returns the jitter RNG seed (0 means 1, so the zero policy is
+// still fully deterministic).
+func (p RetryPolicy) seed() int64 {
+	if p.Seed != 0 {
+		return p.Seed
+	}
+	return 1
+}
+
 // delay returns the jittered backoff before attempt n+1 (n counts
-// completed attempts, so n >= 1).
-func (p RetryPolicy) delay(n int) time.Duration {
+// completed attempts, so n >= 1). rng may be nil when jitter is
+// disabled.
+func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
 	d := p.BaseDelay << (n - 1)
 	if d > p.MaxDelay || d <= 0 { // <= 0: shift overflow
 		d = p.MaxDelay
 	}
-	if p.Jitter > 0 {
-		d += time.Duration(p.Jitter * rand.Float64() * float64(d))
+	if p.Jitter > 0 && rng != nil {
+		d += time.Duration(p.Jitter * rng.Float64() * float64(d))
 	}
 	return d
 }
@@ -73,6 +89,7 @@ func (p RetryPolicy) delay(n int) time.Duration {
 // last attempt's error is returned.
 func Retry(ctx context.Context, pol RetryPolicy, retryable func(error) bool, f func(ctx context.Context) error) error {
 	pol = pol.withDefaults()
+	var rng *rand.Rand // allocated only if an attempt actually backs off
 	for attempt := 1; ; attempt++ {
 		err := f(ctx)
 		if err == nil {
@@ -87,7 +104,10 @@ func Retry(ctx context.Context, pol RetryPolicy, retryable func(error) bool, f f
 		if attempt >= pol.MaxAttempts || (retryable != nil && !retryable(err)) {
 			return err
 		}
-		t := time.NewTimer(pol.delay(attempt))
+		if pol.Jitter > 0 && rng == nil {
+			rng = rand.New(rand.NewSource(pol.seed()))
+		}
+		t := time.NewTimer(pol.delay(attempt, rng))
 		select {
 		case <-t.C:
 		case <-ctx.Done():

@@ -152,7 +152,7 @@ func TestWithRetryExhaustionFailsStream(t *testing.T) {
 		return 0, fmt.Errorf("frame %d: %w", v, errTransient)
 	})
 	p := New(context.Background())
-	out := MapExec(p, FromSlice(p, 1, []int{0}), StageConfig{Name: "dead"},
+	out := MapExec(p, FromSlice(p, 1, []int{0}), StageConfig{Name: "dead", Workers: 1},
 		WithRetry[int, int](dead, fastRetry, nil))
 	Collect(p, out)
 	if err := p.Wait(); !errors.Is(err, errTransient) {

@@ -10,10 +10,11 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/pipeline"
 	"repro/internal/vec"
 )
 
-// Wire protocol v6. Every connection starts with a handshake:
+// Wire protocol v7. Every connection starts with a handshake:
 //
 //	client → server: magic "ACVP" | u32 version
 //	server → client: magic "ACVP" | u32 version | u32 flags
@@ -108,11 +109,23 @@ import (
 // bump exists so a v5 peer — which would answer the kernel name with
 // ErrCodeUnknownKernel only after a frame-sized request crossed the
 // wire — is refused at handshake instead.
+//
+// v7 over v6 is the self-balancing revision: the Stats response grows
+// a per-stage pipeline telemetry table after the session records. A
+// service backed by a live in-situ stream publishes its pipeline's
+// snapshot (Service.SetPipelineStats) — one record per stage, in
+// chain order: kind, worker count and rebalance bounds, in-flight and
+// completed frames, service-time EWMA, the windowed throughput /
+// utilization / queue-wait rates, and the placement side with its
+// per-side EWMAs — so an operator watching vizclient -stats sees the
+// same critical-path table the stream's balancer acts on. An absent
+// table (a store-backed service with no pipeline) encodes as a zero
+// stage count.
 
 var protoMagic = [4]byte{'A', 'C', 'V', 'P'}
 
 const (
-	protoVersion = 6
+	protoVersion = 7
 
 	// maxBody bounds a message body so a corrupt or hostile length
 	// prefix cannot cause an arbitrary allocation.
@@ -596,11 +609,14 @@ type SessionStats struct {
 	LastSent   int    // frame count of the newest push written (0 = none)
 }
 
-// StatsReport is the Stats verb's response: the service-wide counters
-// plus one row per live session.
+// StatsReport is the Stats verb's response: the service-wide counters,
+// one row per live session, and — when the service fronts a live
+// in-situ stream — the stream's per-stage pipeline telemetry table
+// (protocol v7).
 type StatsReport struct {
 	Stats    ServiceStats
 	Sessions []SessionStats
+	Pipeline []pipeline.StageSnapshot
 }
 
 // Session flag bits in the wire encoding.
@@ -613,6 +629,21 @@ const (
 // statsSessionFixed is the fixed-size prefix of one session record:
 // u64 id | u8 flags | u32 depth | u32 cap | 4×u64 counters | u8 len.
 const statsSessionFixed = 8 + 1 + 4 + 4 + 4*8 + 1
+
+// Stage flag bits in the wire encoding (protocol v7).
+const (
+	stageFlagResizable byte = 1 << 0
+	stageFlagPlaceable byte = 1 << 1
+	stageFlagRemote    byte = 1 << 2
+	stageFlagCritical  byte = 1 << 3
+	stageFlagFinished  byte = 1 << 4
+)
+
+// statsStageFixed is the fixed-size prefix of one pipeline stage
+// record: u8 kind | u8 flags | 4×u32 (workers, min, max, in-flight) |
+// 6×u64 (done, service/local/remote EWMA ns, window ns, fallbacks) |
+// 4×f64 (throughput, utilization, recv-wait, send-wait) | u8 nameLen.
+const statsStageFixed = 1 + 1 + 4*4 + 6*8 + 4*8 + 1
 
 // encodeStatsReport builds a Stats response payload:
 //
@@ -654,6 +685,48 @@ func encodeStatsReport(r StatsReport) []byte {
 		}
 		out = append(out, byte(len(remote)))
 		out = append(out, remote...)
+	}
+	// v7: pipeline stage table.
+	out = le.AppendUint16(out, uint16(len(r.Pipeline)))
+	for _, st := range r.Pipeline {
+		out = append(out, byte(st.Kind))
+		var flags byte
+		if st.Resizable {
+			flags |= stageFlagResizable
+		}
+		if st.Placeable {
+			flags |= stageFlagPlaceable
+		}
+		if st.Remote {
+			flags |= stageFlagRemote
+		}
+		if st.Critical {
+			flags |= stageFlagCritical
+		}
+		if st.Finished {
+			flags |= stageFlagFinished
+		}
+		out = append(out, flags)
+		out = le.AppendUint32(out, uint32(st.Workers))
+		out = le.AppendUint32(out, uint32(st.MinWorkers))
+		out = le.AppendUint32(out, uint32(st.MaxWorkers))
+		out = le.AppendUint32(out, uint32(st.InFlight))
+		out = le.AppendUint64(out, st.Done)
+		out = le.AppendUint64(out, uint64(st.ServiceEWMA))
+		out = le.AppendUint64(out, uint64(st.LocalEWMA))
+		out = le.AppendUint64(out, uint64(st.RemoteEWMA))
+		out = le.AppendUint64(out, uint64(st.Window))
+		out = le.AppendUint64(out, st.Fallbacks)
+		out = le.AppendUint64(out, math.Float64bits(st.Throughput))
+		out = le.AppendUint64(out, math.Float64bits(st.Utilization))
+		out = le.AppendUint64(out, math.Float64bits(st.RecvWait))
+		out = le.AppendUint64(out, math.Float64bits(st.SendWait))
+		name := st.Name
+		if len(name) > math.MaxUint8 {
+			name = name[:math.MaxUint8]
+		}
+		out = append(out, byte(len(name)))
+		out = append(out, name...)
 	}
 	return out
 }
@@ -711,6 +784,57 @@ func decodeStatsReport(p []byte) (StatsReport, error) {
 		s.Remote = string(p[:nameLen])
 		p = p[nameLen:]
 		r.Sessions = append(r.Sessions, s)
+	}
+	if len(p) == 0 {
+		// v6-shaped payload: no stage table. Keeps pre-v7 fuzz corpora
+		// (and a zero-value report round trip) decoding cleanly.
+		return r, nil
+	}
+	if len(p) < 2 {
+		return StatsReport{}, fmt.Errorf("remote: stats payload truncated before stage count")
+	}
+	nst := int(le.Uint16(p))
+	p = p[2:]
+	if nst > len(p)/statsStageFixed {
+		return StatsReport{}, fmt.Errorf("remote: stats payload claims %d stages in %d bytes", nst, len(p))
+	}
+	if nst > 0 {
+		r.Pipeline = make([]pipeline.StageSnapshot, 0, nst)
+	}
+	for i := 0; i < nst; i++ {
+		if len(p) < statsStageFixed {
+			return StatsReport{}, fmt.Errorf("remote: stats stage %d truncated", i)
+		}
+		var st pipeline.StageSnapshot
+		st.Kind = pipeline.StageKind(p[0])
+		flags := p[1]
+		st.Resizable = flags&stageFlagResizable != 0
+		st.Placeable = flags&stageFlagPlaceable != 0
+		st.Remote = flags&stageFlagRemote != 0
+		st.Critical = flags&stageFlagCritical != 0
+		st.Finished = flags&stageFlagFinished != 0
+		st.Workers = int(le.Uint32(p[2:]))
+		st.MinWorkers = int(le.Uint32(p[6:]))
+		st.MaxWorkers = int(le.Uint32(p[10:]))
+		st.InFlight = int(le.Uint32(p[14:]))
+		st.Done = le.Uint64(p[18:])
+		st.ServiceEWMA = time.Duration(le.Uint64(p[26:]))
+		st.LocalEWMA = time.Duration(le.Uint64(p[34:]))
+		st.RemoteEWMA = time.Duration(le.Uint64(p[42:]))
+		st.Window = time.Duration(le.Uint64(p[50:]))
+		st.Fallbacks = le.Uint64(p[58:])
+		st.Throughput = math.Float64frombits(le.Uint64(p[66:]))
+		st.Utilization = math.Float64frombits(le.Uint64(p[74:]))
+		st.RecvWait = math.Float64frombits(le.Uint64(p[82:]))
+		st.SendWait = math.Float64frombits(le.Uint64(p[90:]))
+		nameLen := int(p[98])
+		p = p[statsStageFixed:]
+		if len(p) < nameLen {
+			return StatsReport{}, fmt.Errorf("remote: stats stage %d name truncated (%d of %d bytes)", i, len(p), nameLen)
+		}
+		st.Name = string(p[:nameLen])
+		p = p[nameLen:]
+		r.Pipeline = append(r.Pipeline, st)
 	}
 	if len(p) != 0 {
 		return StatsReport{}, fmt.Errorf("remote: %d trailing bytes after stats report", len(p))

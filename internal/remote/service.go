@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/hybrid"
+	"repro/internal/pipeline"
 	"repro/internal/render"
 	"repro/internal/volren"
 )
@@ -53,6 +54,11 @@ type Service struct {
 	sessions map[uint64]*session
 	nextSess uint64
 	admitted int
+
+	// pipelineStats, when set, supplies the in-situ pipeline's stage
+	// table for the Stats verb (protocol v7). Atomic so a live stream
+	// can be attached after the service is already serving.
+	pipelineStats atomic.Pointer[func() []pipeline.StageSnapshot]
 
 	stats struct {
 		frameEncodes, frameHits   atomic.Uint64

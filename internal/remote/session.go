@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"sync"
 	"time"
+
+	"repro/internal/pipeline"
 )
 
 // This file is the server half of the protocol v5 session-resilience
@@ -209,7 +211,23 @@ func (s *Service) statsReport() StatsReport {
 		}
 		r.Sessions = append(r.Sessions, row)
 	}
+	if fn := s.pipelineStats.Load(); fn != nil {
+		r.Pipeline = (*fn)()
+	}
 	return r
+}
+
+// SetPipelineStats registers the telemetry hook a live service
+// publishes through the Stats verb: fn (typically a running stream's
+// Snapshot method) is called per Stats request and its stage table
+// rides the v7 response. A nil fn (or never calling this) reports no
+// table — the store-backed case. Safe to call while serving.
+func (s *Service) SetPipelineStats(fn func() []pipeline.StageSnapshot) {
+	if fn == nil {
+		s.pipelineStats.Store(nil)
+		return
+	}
+	s.pipelineStats.Store(&fn)
 }
 
 // subQueue is one subscriber's bounded send queue: the store's watcher
